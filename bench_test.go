@@ -1,0 +1,235 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each benchmark regenerates its experiment and reports the
+// headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation at a reduced (shape-preserving) scale.
+// Use cmd/proteus-bench for the full printed tables and -paperscale runs.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+// benchOpt is sized so each experiment completes in seconds while keeping
+// realistic per-transaction behaviour (full Table 2 initialization
+// footprints are too slow to rebuild per benchmark here; InitScale 4
+// keeps multi-megabyte structures).
+func benchOpt() experiments.Options {
+	return experiments.Options{Threads: 4, SimScale: 100, InitScale: 4, Seed: 42}
+}
+
+func reportGeomean(b *testing.B, get func() (float64, error), unit string) {
+	b.Helper()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		x, err := get()
+		if err != nil {
+			b.Fatal(err)
+		}
+		v = x
+	}
+	b.ReportMetric(v, unit)
+}
+
+// BenchmarkFigure6 regenerates the NVMM speedup comparison; the metric is
+// the Proteus geomean speedup over PMEM (paper: 1.46).
+func BenchmarkFigure6(b *testing.B) {
+	reportGeomean(b, func() (float64, error) {
+		tab, err := experiments.Figure6(benchOpt())
+		if err != nil {
+			return 0, err
+		}
+		b.Logf("\n%s", tab)
+		return tab.Get("geomean", "Proteus"), nil
+	}, "proteus-speedup")
+}
+
+// BenchmarkFigure7 regenerates the front-end stall comparison; the metric
+// is ATOM's stalls normalized to the ideal case (paper: ~1.16).
+func BenchmarkFigure7(b *testing.B) {
+	reportGeomean(b, func() (float64, error) {
+		tab, err := experiments.Figure7(benchOpt())
+		if err != nil {
+			return 0, err
+		}
+		b.Logf("\n%s", tab)
+		return tab.Get("geomean", "ATOM"), nil
+	}, "atom-stalls-vs-ideal")
+}
+
+// BenchmarkFigure8 regenerates the NVMM write comparison; the metric is
+// ATOM's write amplification over the ideal case (paper: ~3.4).
+func BenchmarkFigure8(b *testing.B) {
+	reportGeomean(b, func() (float64, error) {
+		tab, err := experiments.Figure8(benchOpt())
+		if err != nil {
+			return 0, err
+		}
+		b.Logf("\n%s", tab)
+		return tab.Get("geomean", "ATOM"), nil
+	}, "atom-write-amp")
+}
+
+// BenchmarkFigure9 regenerates the slow-NVM study; the metric is the
+// Proteus geomean speedup (paper: 1.49).
+func BenchmarkFigure9(b *testing.B) {
+	reportGeomean(b, func() (float64, error) {
+		tab, err := experiments.Figure9(benchOpt())
+		if err != nil {
+			return 0, err
+		}
+		b.Logf("\n%s", tab)
+		return tab.Get("geomean", "Proteus"), nil
+	}, "proteus-speedup-slownvm")
+}
+
+// BenchmarkFigure10 regenerates the DRAM study; the metric is the Proteus
+// geomean speedup (paper: 1.47).
+func BenchmarkFigure10(b *testing.B) {
+	reportGeomean(b, func() (float64, error) {
+		tab, err := experiments.Figure10(benchOpt())
+		if err != nil {
+			return 0, err
+		}
+		b.Logf("\n%s", tab)
+		return tab.Get("geomean", "Proteus"), nil
+	}, "proteus-speedup-dram")
+}
+
+// BenchmarkFigure11 regenerates the LogQ sweep; the metric is the geomean
+// speedup gained growing the LogQ from 1 to 64 entries.
+func BenchmarkFigure11(b *testing.B) {
+	reportGeomean(b, func() (float64, error) {
+		tab, err := experiments.Figure11(benchOpt())
+		if err != nil {
+			return 0, err
+		}
+		b.Logf("\n%s", tab)
+		return tab.Get("geomean", "LogQ=64") - tab.Get("geomean", "LogQ=1"), nil
+	}, "logq-1-to-64-gain")
+}
+
+// BenchmarkFigure12 regenerates the LPQ sweep; the metric is the geomean
+// speedup at the paper's chosen 256-entry LPQ.
+func BenchmarkFigure12(b *testing.B) {
+	reportGeomean(b, func() (float64, error) {
+		tab, err := experiments.Figure12(benchOpt())
+		if err != nil {
+			return 0, err
+		}
+		b.Logf("\n%s", tab)
+		return tab.Get("geomean", "LPQ=256"), nil
+	}, "speedup-at-lpq256")
+}
+
+// BenchmarkTable3 regenerates the large-transaction study; the metric is
+// Proteus's speedup at 8192-element transactions (paper: 1.24 vs ideal
+// 1.27).
+func BenchmarkTable3(b *testing.B) {
+	reportGeomean(b, func() (float64, error) {
+		res, err := experiments.Table3(benchOpt())
+		if err != nil {
+			return 0, err
+		}
+		b.Logf("\n%s", res.Speedups)
+		return res.Speedups.Get("8192", "Proteus"), nil
+	}, "proteus-speedup-8192")
+}
+
+// BenchmarkTable4 regenerates the LLT miss rates; the metric is the QE
+// miss rate (paper: 22.5%).
+func BenchmarkTable4(b *testing.B) {
+	reportGeomean(b, func() (float64, error) {
+		tab, err := experiments.Table4(benchOpt())
+		if err != nil {
+			return 0, err
+		}
+		b.Logf("\n%s", tab)
+		return tab.Get(workload.Queue.Abbrev(), "miss rate"), nil
+	}, "qe-llt-missrate-pct")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (cycles
+// simulated per wall second) on one Proteus run — the cost of the
+// substrate itself.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	reportGeomean(b, func() (float64, error) {
+		opt := benchOpt()
+		tab, err := experiments.Figure6(opt)
+		_ = tab
+		return float64(b.Elapsed().Milliseconds()), err
+	}, "ms-per-suite")
+}
+
+// BenchmarkAblationPersistency compares §2.1's persistency models on the
+// software baseline; the metric is strict persistency's geomean slowdown
+// over the durable-transaction model.
+func BenchmarkAblationPersistency(b *testing.B) {
+	reportGeomean(b, func() (float64, error) {
+		tab, err := experiments.PersistencyModels(benchOpt())
+		if err != nil {
+			return 0, err
+		}
+		b.Logf("\n%s", tab)
+		return tab.Get("geomean", "strict"), nil
+	}, "strict-slowdown")
+}
+
+// BenchmarkAblationStaticElim compares the hardware LLT against
+// compiler-side duplicate-log elimination (§4.2); the metric is the
+// fraction of log operations a perfect compiler still has to emit.
+func BenchmarkAblationStaticElim(b *testing.B) {
+	reportGeomean(b, func() (float64, error) {
+		tab, err := experiments.StaticVsDynamicFiltering(benchOpt())
+		if err != nil {
+			return 0, err
+		}
+		b.Logf("\n%s", tab)
+		return tab.Get("geomean", "logops-emitted-ratio"), nil
+	}, "static-emit-ratio")
+}
+
+// BenchmarkAblationATOMInFlight sweeps ATOM's log-request pipelining; the
+// metric is ATOM's geomean speedup at the deepest pipeline, which still
+// trails Proteus (the LogQ decoupling, not request bandwidth, is the
+// difference).
+func BenchmarkAblationATOMInFlight(b *testing.B) {
+	reportGeomean(b, func() (float64, error) {
+		tab, err := experiments.ATOMInFlightSweep(benchOpt())
+		if err != nil {
+			return 0, err
+		}
+		b.Logf("\n%s", tab)
+		return tab.Get("geomean", "inflight=16"), nil
+	}, "atom-speedup-deep-pipe")
+}
+
+// BenchmarkAblationWPQ sweeps the WPQ capacity under the software
+// baseline; the metric is the slowdown of a 16-entry WPQ relative to 128.
+func BenchmarkAblationWPQ(b *testing.B) {
+	reportGeomean(b, func() (float64, error) {
+		tab, err := experiments.WPQSweep(benchOpt())
+		if err != nil {
+			return 0, err
+		}
+		b.Logf("\n%s", tab)
+		return tab.Get("geomean", "WPQ=16"), nil
+	}, "wpq16-slowdown")
+}
+
+// BenchmarkAblationLLTSweep reports the QE miss rate at a 256-entry LLT.
+func BenchmarkAblationLLTSweep(b *testing.B) {
+	reportGeomean(b, func() (float64, error) {
+		tab, err := experiments.LLTSweep(benchOpt())
+		if err != nil {
+			return 0, err
+		}
+		b.Logf("\n%s", tab)
+		return tab.Get(workload.Queue.Abbrev(), "LLT=256"), nil
+	}, "qe-llt256-missrate")
+}

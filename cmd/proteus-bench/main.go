@@ -1,0 +1,146 @@
+// Command proteus-bench regenerates the paper's tables and figures. By
+// default it runs every experiment at the standard reduced scale
+// (full Table 2 footprints, 1/25th of the timed operations); -fig selects
+// one experiment and -paperscale runs the full Table 2 operation counts.
+//
+// Example:
+//
+//	proteus-bench                # everything
+//	proteus-bench -fig 6         # just Figure 6
+//	proteus-bench -fig t3        # just Table 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		fig        = flag.String("fig", "all", "experiment: 6-12, t3, t4, logq-delta, all; ablations: persistency, llt, static-elim, atom-inflight, wpq, ablations")
+		threads    = flag.Int("threads", 4, "worker threads / cores")
+		simScale   = flag.Int("simscale", 25, "divide Table 2 timed operation counts by this")
+		initScale  = flag.Int("initscale", 1, "divide Table 2 initialization counts by this (affects footprint)")
+		paperScale = flag.Bool("paperscale", false, "run the full Table 2 operation counts (hours)")
+		seed       = flag.Int64("seed", 42, "workload seed")
+		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			exitOn(err)
+		}
+	}
+
+	opt := experiments.Options{Threads: *threads, SimScale: *simScale, InitScale: *initScale, Seed: *seed}
+	if *paperScale {
+		opt.SimScale = 1
+		opt.InitScale = 1
+	}
+
+	sel := strings.ToLower(*fig)
+	want := func(name string) bool { return sel == "all" || sel == name }
+
+	type tableExp struct {
+		name string
+		run  func(experiments.Options) (fmt.Stringer, error)
+	}
+	exps := []tableExp{
+		{"6", wrap(experiments.Figure6)},
+		{"7", wrap(experiments.Figure7)},
+		{"8", wrap(experiments.Figure8)},
+		{"9", wrap(experiments.Figure9)},
+		{"10", wrap(experiments.Figure10)},
+		{"11", wrap(experiments.Figure11)},
+		{"12", wrap(experiments.Figure12)},
+	}
+	// Ablations beyond the paper's own sensitivity study; selected by
+	// name, or by "ablations" for the whole group (excluded from "all").
+	ablations := []tableExp{
+		{"persistency", wrap(experiments.PersistencyModels)},
+		{"llt", wrap(experiments.LLTSweep)},
+		{"static-elim", wrap(experiments.StaticVsDynamicFiltering)},
+		{"atom-inflight", wrap(experiments.ATOMInFlightSweep)},
+		{"wpq", wrap(experiments.WPQSweep)},
+	}
+
+	emit := func(name string, out fmt.Stringer) {
+		fmt.Println(out)
+		if *csvDir == "" {
+			return
+		}
+		tab, ok := out.(*stats.Table)
+		if !ok {
+			return
+		}
+		f, err := os.Create(filepath.Join(*csvDir, "fig"+name+".csv"))
+		exitOn(err)
+		exitOn(tab.WriteCSV(f))
+		exitOn(f.Close())
+	}
+
+	ran := false
+	for _, e := range exps {
+		if !want(e.name) {
+			continue
+		}
+		ran = true
+		out, err := e.run(opt)
+		exitOn(err)
+		emit(e.name, out)
+	}
+	for _, e := range ablations {
+		if sel != e.name && sel != "ablations" {
+			continue
+		}
+		ran = true
+		out, err := e.run(opt)
+		exitOn(err)
+		emit(e.name, out)
+	}
+
+	if want("t3") {
+		ran = true
+		res, err := experiments.Table3(opt)
+		exitOn(err)
+		fmt.Println(res.Speedups)
+		fmt.Println("log entries per transaction (before LLT -> flushed to MC):")
+		for _, n := range experiments.Table3Sizes {
+			fmt.Printf("  %5d elements: %8.0f -> %8.0f\n", n, res.EntriesPerTxn[n], res.FlushedPerTxn[n])
+		}
+		fmt.Println()
+	}
+	if want("t4") {
+		ran = true
+		tab, err := experiments.Table4(opt)
+		exitOn(err)
+		fmt.Println(tab)
+	}
+	if want("logq-delta") {
+		ran = true
+		nvmD, dramD, err := experiments.LogQMemoryDelta(opt)
+		exitOn(err)
+		fmt.Printf("LogQ 8->16 geomean speedup delta: %+.3f on NVM, %+.3f on DRAM (§7.2)\n\n", nvmD, dramD)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "proteus-bench: unknown experiment %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func wrap[T fmt.Stringer](f func(experiments.Options) (T, error)) func(experiments.Options) (fmt.Stringer, error) {
+	return func(o experiments.Options) (fmt.Stringer, error) { return f(o) }
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proteus-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,145 @@
+// Command proteus-sim runs one (benchmark, scheme, memory) combination on
+// the simulated machine and prints the full statistics report.
+//
+// Example:
+//
+//	proteus-sim -bench AT -scheme Proteus -mem nvm-fast -simops 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/logging"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		benchName  = flag.String("bench", "QE", "benchmark: QE, HM, SS, AT, BT, RT, LL")
+		schemeName = flag.String("scheme", "Proteus", "scheme: PMEM, PMEM+pcommit, PMEM+nolog, ATOM, Proteus, Proteus+NoLWR")
+		memName    = flag.String("mem", "nvm-fast", "memory kind: nvm-fast, nvm-slow, dram")
+		threads    = flag.Int("threads", 4, "worker threads / cores")
+		simOps     = flag.Int("simops", 0, "timed operations per thread (0 = Table 2 / 25)")
+		initOps    = flag.Int("initops", 0, "initialization operations per thread (0 = Table 2)")
+		seed       = flag.Int64("seed", 42, "workload seed")
+		logQ       = flag.Int("logq", 16, "Proteus LogQ entries")
+		lpq        = flag.Int("lpq", 256, "LPQ entries")
+	)
+	flag.Parse()
+
+	kind, err := parseBench(*benchName)
+	exitOn(err)
+	scheme, err := parseScheme(*schemeName)
+	exitOn(err)
+	memKind, err := parseMem(*memName)
+	exitOn(err)
+
+	p := kind.DefaultParams(1)
+	p.Threads = *threads
+	p.Seed = *seed
+	if *simOps > 0 {
+		p.SimOps = *simOps
+	} else {
+		p.SimOps /= 25
+		if p.SimOps < 8 {
+			p.SimOps = 8
+		}
+	}
+	if *initOps > 0 {
+		p.InitOps = *initOps
+	}
+
+	cfg := config.Default().WithMemKind(memKind)
+	cfg.Cores = *threads
+	cfg.Proteus.LogQ = *logQ
+	cfg.Mem.LPQ = *lpq
+
+	fmt.Printf("building %v: threads=%d init=%d sim=%d ...\n", kind, p.Threads, p.InitOps, p.SimOps)
+	w, err := workload.Build(kind, p)
+	exitOn(err)
+	traces, err := logging.Generate(w, scheme, cfg)
+	exitOn(err)
+	sys, err := core.NewSystem(cfg, scheme, traces, w.InitImage)
+	exitOn(err)
+	rep, err := sys.Run(0)
+	exitOn(err)
+
+	printReport(kind, scheme, memKind, rep, p)
+}
+
+func printReport(kind workload.Kind, scheme core.Scheme, mem config.MemKind, rep *stats.Report, p workload.Params) {
+	txns := uint64(p.SimOps * p.Threads)
+	fmt.Printf("\n%v / %v on %v\n", kind, scheme, mem)
+	fmt.Printf("  cycles            %12d  (%.0f per txn)\n", rep.Cycles, float64(rep.Cycles)/float64(p.SimOps))
+	fmt.Printf("  retired uops      %12d\n", rep.TotalRetired())
+	fmt.Printf("  transactions      %12d\n", txns)
+	fmt.Printf("  front-end stalls  %12d\n", rep.TotalFrontEndStalls())
+	m := rep.MemStat
+	fmt.Printf("  NVM reads         %12d\n", m.Reads)
+	fmt.Printf("  NVM writes        %12d  (data %d, log %d, truncate %d)\n",
+		m.NVMWrites(), m.Writes[stats.WriteData], m.Writes[stats.WriteLog], m.Writes[stats.WriteTruncate])
+	fmt.Printf("  WPQ coalesced     %12d\n", m.WPQCoalesced)
+	fmt.Printf("  LPQ accepted      %12d  dropped %d, drained %d\n", m.LPQAccepted, m.LPQDropped, m.LPQDrained)
+	fmt.Printf("  row buffer        %12.1f%% hits\n", 100*float64(m.RowBufferHits)/float64(max64(m.RowBufferHits+m.RowBufferMiss, 1)))
+	var logLoads, flushes, lltH, lltM uint64
+	for i := range rep.CoreStat {
+		logLoads += rep.CoreStat[i].LogLoads
+		flushes += rep.CoreStat[i].LogFlushes
+		lltH += rep.CoreStat[i].LLTHits
+		lltM += rep.CoreStat[i].LLTMisses
+	}
+	if logLoads > 0 {
+		fmt.Printf("  log ops           %12d  (%d flushed to MC, LLT miss %.1f%%)\n",
+			logLoads, flushes, rep.LLTMissRate())
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func parseBench(s string) (workload.Kind, error) {
+	for _, k := range append(append([]workload.Kind{}, workload.Table2...), workload.LinkedList) {
+		if strings.EqualFold(k.Abbrev(), s) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown benchmark %q (want QE, HM, SS, AT, BT, RT, LL)", s)
+}
+
+func parseScheme(s string) (core.Scheme, error) {
+	for _, sc := range core.Schemes {
+		if strings.EqualFold(sc.String(), s) {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
+}
+
+func parseMem(s string) (config.MemKind, error) {
+	switch strings.ToLower(s) {
+	case "nvm-fast", "nvm":
+		return config.NVMFast, nil
+	case "nvm-slow", "slow":
+		return config.NVMSlow, nil
+	case "dram":
+		return config.DRAM, nil
+	}
+	return 0, fmt.Errorf("unknown memory kind %q", s)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proteus-sim:", err)
+		os.Exit(1)
+	}
+}

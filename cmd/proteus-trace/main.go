@@ -1,0 +1,118 @@
+// Command proteus-trace inspects the per-scheme code generation: it
+// builds a workload, expands it under one or two schemes, and prints
+// instruction histograms, per-transaction averages, and (optionally) the
+// first transactions' micro-ops — the quickest way to see exactly what
+// each logging scheme adds to the instruction stream.
+//
+// Example:
+//
+//	proteus-trace -bench QE -scheme PMEM -vs Proteus -dump 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/logging"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "QE", "benchmark: QE, HM, SS, AT, BT, RT, LL")
+		schemeA   = flag.String("scheme", "PMEM", "scheme to expand")
+		schemeB   = flag.String("vs", "", "optional second scheme to compare against")
+		dump      = flag.Int("dump", 0, "print the micro-ops of the first N transactions")
+		simOps    = flag.Int("simops", 32, "timed operations per thread")
+		threads   = flag.Int("threads", 1, "threads")
+		seed      = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	kind, err := parseBench(*benchName)
+	exitOn(err)
+	p := kind.DefaultParams(1)
+	p.Threads = *threads
+	p.SimOps = *simOps
+	p.InitOps /= 50
+	if p.InitOps < 32 {
+		p.InitOps = 32
+	}
+	p.Seed = *seed
+	w, err := workload.Build(kind, p)
+	exitOn(err)
+
+	cfg := config.Default()
+	schemes := []string{*schemeA}
+	if *schemeB != "" {
+		schemes = append(schemes, *schemeB)
+	}
+	for _, name := range schemes {
+		scheme, err := parseScheme(name)
+		exitOn(err)
+		traces, err := logging.Generate(w, scheme, cfg)
+		exitOn(err)
+		tr := traces[0]
+		s := tr.Summarize()
+		txns := float64(p.SimOps)
+		fmt.Printf("%v / %v: %d micro-ops on thread 0 (%.1f per txn)\n", kind, scheme, tr.Len(), float64(tr.Len())/txns)
+		fmt.Printf("  loads  %6d (%.1f/txn)   stores   %6d (%.1f/txn)   alu units %d\n",
+			s.Loads, float64(s.Loads)/txns, s.Stores, float64(s.Stores)/txns, s.Alus)
+		fmt.Printf("  clwb   %6d (%.1f/txn)   sfence   %6d (%.1f/txn)   pcommit   %d\n",
+			s.Clwbs, float64(s.Clwbs)/txns, s.Sfences, float64(s.Sfences)/txns, s.Pcommits)
+		fmt.Printf("  logld  %6d (%.1f/txn)   logflush %6d (%.1f/txn)   locks     %d\n",
+			s.LogLoads, float64(s.LogLoads)/txns, s.LogFlushes, float64(s.LogFlushes)/txns, s.Locks)
+		if *dump > 0 {
+			dumpTxns(tr, *dump)
+		}
+		fmt.Println()
+	}
+}
+
+func dumpTxns(tr *isa.Trace, n int) {
+	txn := 0
+	for _, op := range tr.Ops {
+		if op.Kind == isa.TxBegin {
+			txn++
+			if txn > n {
+				return
+			}
+		}
+		if txn >= 1 {
+			fmt.Printf("    %s\n", op)
+		}
+		if op.Kind == isa.TxEnd && txn >= n {
+			return
+		}
+	}
+}
+
+func parseBench(s string) (workload.Kind, error) {
+	for _, k := range append(append([]workload.Kind{}, workload.Table2...), workload.LinkedList) {
+		if strings.EqualFold(k.Abbrev(), s) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown benchmark %q", s)
+}
+
+func parseScheme(s string) (core.Scheme, error) {
+	for _, sc := range core.Schemes {
+		if strings.EqualFold(sc.String(), s) {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proteus-trace:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "Proteus: A Flexible
+// and Fast Software Supported Hardware Logging approach for NVM" (Shin,
+// Tirukkovalluri, Tuck, Solihin — MICRO-50, 2017).
+//
+// The implementation lives under internal/: the machine model (cpu, cache,
+// memctrl, nvm), the logging schemes and their code generation (core,
+// logging, logfmt), the workloads of Table 2 (heap, pstruct, workload),
+// crash recovery and its verification (recovery), and the experiment
+// harness that regenerates every figure and table of the paper's
+// evaluation (experiments). See README.md for a tour, DESIGN.md for the
+// system inventory and per-experiment index, and EXPERIMENTS.md for
+// paper-versus-measured results.
+package repro

@@ -1,0 +1,54 @@
+// Quickstart: build one Table 2 workload, run it under the software
+// logging baseline and under Proteus, and print the speedup and the NVM
+// write savings — the paper's two headline claims, in about thirty lines
+// of API use.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/logging"
+	"repro/internal/workload"
+)
+
+func main() {
+	// A hash-map workload: 4 threads, Table 2 footprint, a slice of the
+	// timed operations.
+	params := workload.HashMap.DefaultParams(1)
+	params.SimOps = 400
+	w, err := workload.Build(workload.HashMap, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := config.Default() // the paper's Table 1 machine
+	run := func(scheme core.Scheme) (cycles, nvmWrites uint64) {
+		traces, err := logging.Generate(w, scheme, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := core.NewSystem(cfg, scheme, traces, w.InitImage)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sys.Run(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep.Cycles, rep.MemStat.NVMWrites()
+	}
+
+	baseCycles, baseWrites := run(core.PMEM)
+	protCycles, protWrites := run(core.Proteus)
+	atomCycles, atomWrites := run(core.ATOM)
+
+	fmt.Printf("benchmark: HM (%d transactions on %d threads)\n", params.SimOps*params.Threads, params.Threads)
+	fmt.Printf("  PMEM (software logging): %10d cycles, %6d NVM writes\n", baseCycles, baseWrites)
+	fmt.Printf("  ATOM (hardware logging): %10d cycles, %6d NVM writes\n", atomCycles, atomWrites)
+	fmt.Printf("  Proteus (SSHL):          %10d cycles, %6d NVM writes\n", protCycles, protWrites)
+	fmt.Printf("\nProteus speedup over software logging: %.2fx\n", float64(baseCycles)/float64(protCycles))
+	fmt.Printf("ATOM writes %.1fx more to NVM than Proteus\n", float64(atomWrites)/float64(protWrites))
+}

@@ -1,0 +1,336 @@
+// Package cache models the three-level write-back cache hierarchy of
+// Table 1: private 32KB L1D and 256KB L2 per core, and a shared 8MB L3,
+// all with 64-byte lines and LRU replacement. Lines carry their data so
+// that the functional contents of the machine flow through the hierarchy
+// exactly as the timing model persists them (clwb, write-backs, log
+// loads).
+//
+// Cross-core coherence traffic is structurally absent: the workloads
+// partition data structures across threads (see DESIGN.md §1), so no line
+// is ever shared between cores. The shared L3 still models capacity and
+// bandwidth interaction between cores.
+package cache
+
+import (
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/memctrl"
+	"repro/internal/stats"
+)
+
+type way struct {
+	tag   uint64 // line address
+	valid bool
+	dirty bool
+	lru   uint64
+	data  [isa.LineSize]byte
+}
+
+// Level is one set-associative cache.
+type Level struct {
+	cfg     config.Cache
+	sets    [][]way
+	setMask uint64
+}
+
+// NewLevel builds a cache level from its configuration.
+func NewLevel(cfg config.Cache) *Level {
+	n := cfg.Sets()
+	sets := make([][]way, n)
+	for i := range sets {
+		sets[i] = make([]way, cfg.Ways)
+	}
+	return &Level{cfg: cfg, sets: sets, setMask: uint64(n - 1)}
+}
+
+func (l *Level) set(line uint64) []way {
+	return l.sets[(line/isa.LineSize)&l.setMask]
+}
+
+// lookup returns the way holding line, or nil.
+func (l *Level) lookup(line uint64) *way {
+	s := l.set(line)
+	for i := range s {
+		if s[i].valid && s[i].tag == line {
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+// victim returns the way to allocate for line: an invalid way if any,
+// otherwise the LRU way. The caller handles the victim's dirty data.
+func (l *Level) victim(line uint64) *way {
+	s := l.set(line)
+	var v *way
+	for i := range s {
+		if !s[i].valid {
+			return &s[i]
+		}
+		if v == nil || s[i].lru < v.lru {
+			v = &s[i]
+		}
+	}
+	return v
+}
+
+// Latency returns the level's access latency.
+func (l *Level) Latency() int { return l.cfg.Latency }
+
+// Hierarchy is one core's view of the cache system: its private L1D and
+// L2, the shared L3 and the memory controller behind it.
+type Hierarchy struct {
+	l1, l2 *Level
+	l3     *Level // shared
+	mc     *memctrl.Controller
+	l3ToMC int
+	st     *stats.Core
+}
+
+// NewHierarchy wires a core's private levels to the shared L3 and MC.
+func NewHierarchy(cfg config.Config, l3 *Level, mc *memctrl.Controller, st *stats.Core) *Hierarchy {
+	return &Hierarchy{
+		l1: NewLevel(cfg.L1D), l2: NewLevel(cfg.L2), l3: l3,
+		mc: mc, l3ToMC: cfg.Mem.L3ToMC, st: st,
+	}
+}
+
+// fill brings line into every level down to L1 and returns the cycle the
+// data arrives at the core, along with the L1 way now holding it. ok is
+// false when the memory controller cannot accept the read this cycle.
+func (h *Hierarchy) fill(now uint64, line uint64) (*way, uint64, bool) {
+	if w := h.l1.lookup(line); w != nil {
+		w.lru = now
+		if h.st != nil {
+			h.st.LoadHitsL1++
+		}
+		return w, now + uint64(h.l1.Latency()), true
+	}
+	if w := h.l2.lookup(line); w != nil {
+		w.lru = now
+		nw := h.allocate(h.l1, now, line, w.data)
+		if h.st != nil {
+			h.st.LoadHitsL2++
+		}
+		return nw, now + uint64(h.l2.Latency()), true
+	}
+	if w := h.l3.lookup(line); w != nil {
+		w.lru = now
+		h.allocate(h.l2, now, line, w.data)
+		nw := h.allocate(h.l1, now, line, w.data)
+		if h.st != nil {
+			h.st.LoadHitsL3++
+		}
+		return nw, now + uint64(h.l3.Latency()), true
+	}
+	// Miss all the way to memory.
+	arrive := now + uint64(h.l3.Latency()) + uint64(h.l3ToMC)
+	done, data, ok := h.mc.ReadLine(arrive, line)
+	if !ok {
+		return nil, 0, false
+	}
+	if h.st != nil {
+		h.st.LoadMisses++
+	}
+	h.allocate(h.l3, now, line, data)
+	h.allocate(h.l2, now, line, data)
+	nw := h.allocate(h.l1, now, line, data)
+	return nw, done + uint64(h.l3ToMC), true
+}
+
+// allocate installs line/data in level l (clean), evicting as needed, and
+// returns the way.
+func (h *Hierarchy) allocate(l *Level, now uint64, line uint64, data [isa.LineSize]byte) *way {
+	if w := l.lookup(line); w != nil {
+		w.lru = now
+		w.data = data
+		return w
+	}
+	v := l.victim(line)
+	if v.valid && v.dirty {
+		h.evict(l, now, v)
+	}
+	v.tag = line
+	v.valid = true
+	v.dirty = false
+	v.lru = now
+	v.data = data
+	return v
+}
+
+// evict pushes a dirty victim one level down (L1→L2, L2→L3, L3→memory).
+func (h *Hierarchy) evict(l *Level, now uint64, v *way) {
+	switch l {
+	case h.l1:
+		if w := h.l2.lookup(v.tag); w != nil {
+			w.data = v.data
+			w.dirty = true
+			return
+		}
+		nv := h.l2.victim(v.tag)
+		if nv.valid && nv.dirty {
+			h.evict(h.l2, now, nv)
+		}
+		*nv = way{tag: v.tag, valid: true, dirty: true, lru: now, data: v.data}
+	case h.l2:
+		if w := h.l3.lookup(v.tag); w != nil {
+			w.data = v.data
+			w.dirty = true
+			return
+		}
+		nv := h.l3.victim(v.tag)
+		if nv.valid && nv.dirty {
+			h.evict(h.l3, now, nv)
+		}
+		*nv = way{tag: v.tag, valid: true, dirty: true, lru: now, data: v.data}
+	default: // L3
+		h.mc.WriteLineEvict(now, v.tag, v.data, stats.WriteData)
+	}
+}
+
+// Load reads size bytes at addr through the hierarchy, returning the data
+// and its arrival cycle. ok is false when the access must be retried
+// (memory-controller backpressure).
+func (h *Hierarchy) Load(now uint64, addr uint64, size int, buf []byte) (done uint64, ok bool) {
+	line := isa.LineAddr(addr)
+	w, done, ok := h.fill(now, line)
+	if !ok {
+		return 0, false
+	}
+	if buf != nil {
+		off := int(addr - line)
+		n := size
+		if off+n > isa.LineSize {
+			n = isa.LineSize - off
+		}
+		copy(buf[:n], w.data[off:off+n])
+		// Accesses spanning a line boundary touch the next line too.
+		if n < size {
+			w2, done2, ok2 := h.fill(now, line+isa.LineSize)
+			if !ok2 {
+				return 0, false
+			}
+			copy(buf[n:size], w2.data[:size-n])
+			if done2 > done {
+				done = done2
+			}
+		}
+	}
+	return done, true
+}
+
+// Store writes data at addr (write-allocate, write-back), returning the
+// cycle the write completes in the L1. ok is false when a required fill
+// cannot be accepted this cycle.
+func (h *Hierarchy) Store(now uint64, addr uint64, data []byte) (done uint64, ok bool) {
+	line := isa.LineAddr(addr)
+	w, done, ok := h.fill(now, line)
+	if !ok {
+		return 0, false
+	}
+	off := int(addr - line)
+	n := len(data)
+	if off+n > isa.LineSize {
+		n = isa.LineSize - off
+	}
+	copy(w.data[off:off+n], data[:n])
+	w.dirty = true
+	if n < len(data) {
+		w2, done2, ok2 := h.fill(now, line+isa.LineSize)
+		if !ok2 {
+			return 0, false
+		}
+		copy(w2.data[:len(data)-n], data[n:])
+		w2.dirty = true
+		if done2 > done {
+			done = done2
+		}
+	}
+	return done, true
+}
+
+// Clwb writes the line containing addr back to the memory controller if it
+// is dirty anywhere in this core's path, leaving it valid and clean. It
+// returns the cycle at which the write is accepted at the WPQ (the
+// completion point under ADR) and whether a write actually happened. ok is
+// false when the WPQ is full and the clwb must be retried.
+func (h *Hierarchy) Clwb(now uint64, addr uint64) (done uint64, wrote bool, ok bool) {
+	line := isa.LineAddr(addr)
+	var w *way
+	lat := uint64(0)
+	if w = h.l1.lookup(line); w != nil {
+		lat = uint64(h.l1.Latency())
+	} else if w = h.l2.lookup(line); w != nil {
+		lat = uint64(h.l2.Latency())
+	} else if w = h.l3.lookup(line); w != nil {
+		lat = uint64(h.l3.Latency())
+	}
+	if w == nil || !w.dirty {
+		return now + uint64(h.l1.Latency()), false, true
+	}
+	arrive := now + lat + uint64(h.l3.Latency()) + uint64(h.l3ToMC)
+	if !h.mc.WriteLine(arrive, line, w.data, stats.WriteData) {
+		return 0, false, false
+	}
+	w.dirty = false
+	// Keep lower-level copies coherent with the flushed data.
+	if lw := h.l2.lookup(line); lw != nil && lw != w {
+		lw.data = w.data
+		lw.dirty = false
+	}
+	if lw := h.l3.lookup(line); lw != nil && lw != w {
+		lw.data = w.data
+		lw.dirty = false
+	}
+	return arrive + uint64(h.l3ToMC), true, true
+}
+
+// Peek reads bytes functionally (no timing, no state change), preferring
+// the highest level holding the line. It is used to capture pre-images for
+// hardware log creation.
+func (h *Hierarchy) Peek(addr uint64, size int, buf []byte) {
+	for i := 0; i < size; {
+		line := isa.LineAddr(addr + uint64(i))
+		off := int(addr + uint64(i) - line)
+		n := isa.LineSize - off
+		if n > size-i {
+			n = size - i
+		}
+		var src *[isa.LineSize]byte
+		if w := h.l1.lookup(line); w != nil {
+			src = &w.data
+		} else if w := h.l2.lookup(line); w != nil {
+			src = &w.data
+		} else if w := h.l3.lookup(line); w != nil {
+			src = &w.data
+		}
+		if src != nil {
+			copy(buf[i:i+n], src[off:off+n])
+		} else {
+			var tmp [isa.LineSize]byte
+			done, data, ok := h.mc.PeekLine(line)
+			_ = done
+			if ok {
+				tmp = data
+			}
+			copy(buf[i:i+n], tmp[off:off+n])
+		}
+		i += n
+	}
+}
+
+// DirtyLines returns the dirty state of line addr anywhere in the private
+// path or L3 (used by tx-end hardware flushing to decide what to write).
+func (h *Hierarchy) IsDirty(line uint64) bool {
+	line = isa.LineAddr(line)
+	if w := h.l1.lookup(line); w != nil && w.dirty {
+		return true
+	}
+	if w := h.l2.lookup(line); w != nil && w.dirty {
+		return true
+	}
+	if w := h.l3.lookup(line); w != nil && w.dirty {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,169 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/memctrl"
+	"repro/internal/nvm"
+	"repro/internal/stats"
+)
+
+func newHier() (*Hierarchy, *memctrl.Controller, *stats.Core, *stats.Mem) {
+	cfg := config.Default()
+	ms := &stats.Mem{}
+	cs := &stats.Core{}
+	store := nvm.NewStore()
+	dev := nvm.NewDevice(cfg.Mem, ms)
+	mc := memctrl.New(cfg.Mem, dev, store, ms)
+	l3 := NewLevel(cfg.L3)
+	return NewHierarchy(cfg, l3, mc, cs), mc, cs, ms
+}
+
+func TestLoadLatencies(t *testing.T) {
+	h, _, cs, _ := newHier()
+	addr := uint64(isa.HeapBase)
+
+	// Cold miss goes to memory.
+	done1, ok := h.Load(100, addr, 8, nil)
+	if !ok {
+		t.Fatal("load refused")
+	}
+	if done1 < 100+42 {
+		t.Fatalf("cold miss done at %d, below L3 latency", done1)
+	}
+	if cs.LoadMisses != 1 {
+		t.Fatalf("misses %d", cs.LoadMisses)
+	}
+	// Now an L1 hit.
+	done2, _ := h.Load(10_000, addr, 8, nil)
+	if done2 != 10_000+4 {
+		t.Fatalf("L1 hit done at %d, want %d", done2, 10_000+4)
+	}
+	if cs.LoadHitsL1 != 1 {
+		t.Fatalf("L1 hits %d", cs.LoadHitsL1)
+	}
+}
+
+func TestStoreMakesLineDirtyAndClwbFlushes(t *testing.T) {
+	h, mc, _, _ := newHier()
+	addr := uint64(isa.HeapBase)
+	if _, ok := h.Store(100, addr, []byte{0xAB}); !ok {
+		t.Fatal("store refused")
+	}
+	if !h.IsDirty(addr) {
+		t.Fatal("line not dirty after store")
+	}
+	done, wrote, ok := h.Clwb(200, addr)
+	if !ok || !wrote {
+		t.Fatalf("clwb: ok=%v wrote=%v", ok, wrote)
+	}
+	if done <= 200 {
+		t.Fatal("clwb completed instantly")
+	}
+	if h.IsDirty(addr) {
+		t.Fatal("line still dirty after clwb")
+	}
+	// Drain the WPQ; the byte must reach memory.
+	mc.ForceDrain(true)
+	for now := uint64(done); now < done+100_000; now++ {
+		mc.Tick(now)
+		if mc.WPQEmpty() {
+			break
+		}
+	}
+	if got := mc.Store().Read(addr, 1)[0]; got != 0xAB {
+		t.Fatalf("memory byte %#x, want 0xAB", got)
+	}
+}
+
+func TestCleanClwbIsNoWrite(t *testing.T) {
+	h, _, _, _ := newHier()
+	addr := uint64(isa.HeapBase)
+	h.Load(100, addr, 8, nil)
+	_, wrote, ok := h.Clwb(200, addr)
+	if !ok || wrote {
+		t.Fatalf("clean clwb: ok=%v wrote=%v", ok, wrote)
+	}
+}
+
+func TestLoadReturnsStoredData(t *testing.T) {
+	h, _, _, _ := newHier()
+	addr := uint64(isa.HeapBase + 24)
+	h.Store(100, addr, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	buf := make([]byte, 8)
+	h.Load(200, addr, 8, buf)
+	for i, b := range buf {
+		if b != byte(i+1) {
+			t.Fatalf("byte %d = %d", i, b)
+		}
+	}
+}
+
+func TestEvictionWritesBack(t *testing.T) {
+	h, mc, _, _ := newHier()
+	cfg := config.Default()
+	// Dirty one line, then blow every level with conflicting fills.
+	victim := uint64(isa.HeapBase)
+	h.Store(1, victim, []byte{0x77})
+
+	// Lines mapping to the same set in every level, enough to evict
+	// through L1, L2 and L3.
+	stride := uint64(cfg.L3.SizeBytes) // conservative: same set everywhere
+	n := cfg.L3.Ways + cfg.L2.Ways + cfg.L1D.Ways + 2
+	for i := 1; i <= n; i++ {
+		h.Load(uint64(i)*10_000, victim+uint64(i)*stride, 8, nil)
+	}
+	// The dirty line must have been written back to the MC (WPQ) or
+	// still live in a lower level; read through a fresh hierarchy after
+	// draining.
+	mc.ForceDrain(true)
+	for now := uint64(1_000_000); now < 3_000_000; now++ {
+		mc.Tick(now)
+		if mc.WPQEmpty() {
+			break
+		}
+	}
+	if h.IsDirty(victim) {
+		// Still cached somewhere — acceptable; force check via peek.
+		var b [1]byte
+		h.Peek(victim, 1, b[:])
+		if b[0] != 0x77 {
+			t.Fatalf("dirty data lost: %#x", b[0])
+		}
+		return
+	}
+	if got := mc.Store().Read(victim, 1)[0]; got != 0x77 {
+		t.Fatalf("evicted data not in memory: %#x", got)
+	}
+}
+
+func TestPeekSeesMemoryAndCache(t *testing.T) {
+	h, mc, _, _ := newHier()
+	addr := uint64(isa.HeapBase)
+	mc.Store().WriteUint64(addr, 0x1111)
+	var buf [8]byte
+	h.Peek(addr, 8, buf[:])
+	if buf[0] != 0x11 {
+		t.Fatal("peek missed memory value")
+	}
+	h.Store(100, addr, []byte{0x22})
+	h.Peek(addr, 1, buf[:1])
+	if buf[0] != 0x22 {
+		t.Fatal("peek missed cached store")
+	}
+}
+
+func TestCrossLineAccesses(t *testing.T) {
+	h, _, _, _ := newHier()
+	addr := uint64(isa.HeapBase + 60) // spans two lines
+	h.Store(100, addr, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	buf := make([]byte, 8)
+	h.Load(200, addr, 8, buf)
+	for i, b := range buf {
+		if b != byte(i+1) {
+			t.Fatalf("cross-line byte %d = %d", i, b)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package config
+
+import "testing"
+
+func TestDefaultMatchesTable1(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Cores != 4 || c.Core.Width != 5 || c.Core.ROB != 224 {
+		t.Fatalf("processor row: %+v", c.Core)
+	}
+	if c.Core.LoadQ != 72 || c.Core.StoreQ != 56 {
+		t.Fatalf("LSQ: %d/%d", c.Core.LoadQ, c.Core.StoreQ)
+	}
+	if c.L1D.SizeBytes != 32<<10 || c.L1D.Ways != 8 || c.L1D.Latency != 4 {
+		t.Fatalf("L1D: %+v", c.L1D)
+	}
+	if c.L2.SizeBytes != 256<<10 || c.L2.Latency != 12 {
+		t.Fatalf("L2: %+v", c.L2)
+	}
+	if c.L3.SizeBytes != 8<<20 || c.L3.Ways != 16 || c.L3.Latency != 42 {
+		t.Fatalf("L3: %+v", c.L3)
+	}
+	tm := c.Mem.Timing
+	if tm.TCAS != 11 || tm.TRCD != 11 || tm.TRP != 11 || tm.TRAS != 28 || tm.TRC != 39 ||
+		tm.TWR != 12 || tm.TWTR != 6 || tm.TRTP != 6 || tm.TRRD != 5 || tm.TFAW != 24 {
+		t.Fatalf("DDR timing: %+v", tm)
+	}
+	if tm.TRCDReadNVM != 29 || tm.TRCDWriteNVM != 109 {
+		t.Fatalf("NVM tRCD: %d/%d", tm.TRCDReadNVM, tm.TRCDWriteNVM)
+	}
+	if c.Mem.Banks != 16 || c.Mem.RowBytes != 2048 {
+		t.Fatalf("memory geometry: %+v", c.Mem)
+	}
+	p := c.Proteus
+	if p.LogRegs != 8 || p.LogQ != 16 || p.LLTSize != 64 || p.LLTWays != 8 {
+		t.Fatalf("Proteus structures: %+v", p)
+	}
+	if c.Mem.LPQ != 256 {
+		t.Fatalf("LPQ: %d", c.Mem.LPQ)
+	}
+}
+
+func TestWithMemKind(t *testing.T) {
+	slow := Default().WithMemKind(NVMSlow)
+	if slow.Mem.Timing.TRCDWriteNVM <= 109 {
+		t.Fatalf("slow NVM write tRCD %d", slow.Mem.Timing.TRCDWriteNVM)
+	}
+	if slow.Mem.Timing.TRCDReadNVM != 29 {
+		t.Fatal("slow NVM changed read latency")
+	}
+	dram := Default().WithMemKind(DRAM)
+	if dram.Mem.Kind != DRAM {
+		t.Fatal("kind not set")
+	}
+	// Round trip back to fast.
+	fast := slow.WithMemKind(NVMFast)
+	if fast.Mem.Timing.TRCDWriteNVM != 109 {
+		t.Fatal("fast restore failed")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.Core.Width = 0 },
+		func(c *Config) { c.L1D.Ways = 0 },
+		func(c *Config) { c.L2.SizeBytes = 100 }, // non-power-of-two sets
+		func(c *Config) { c.Mem.Banks = 0 },
+		func(c *Config) { c.Proteus.LogQ = 0 },
+		func(c *Config) { c.Proteus.LLTSize = 63 }, // not divisible by ways
+	}
+	for i, mutate := range bad {
+		c := Default()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}

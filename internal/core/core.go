@@ -1,0 +1,227 @@
+// Package core assembles the full simulated machine — out-of-order cores,
+// private L1D/L2 caches, shared L3, memory controller with WPQ/LPQ, and
+// the NVM/DRAM device — and runs per-scheme micro-op traces on it. It is
+// the top of the reproduction: every experiment in the paper is a set of
+// (workload, Scheme, memory kind) runs of a System.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/memctrl"
+	"repro/internal/nvm"
+	"repro/internal/stats"
+)
+
+// Scheme is one of the logging designs the paper evaluates (§6).
+type Scheme int
+
+const (
+	// PMEM is the baseline: software undo logging built from Intel PMEM
+	// instructions (clwb + sfence per Figure 2), with ADR (no pcommit).
+	PMEM Scheme = iota
+	// PMEMPcommit is PMEM plus a pcommit after every persist step: the
+	// WPQ is not in the persistency domain and must drain to NVM.
+	PMEMPcommit
+	// PMEMNoLog removes the logging code entirely (the ideal case: no
+	// failure safety, no logging overheads).
+	PMEMNoLog
+	// ATOM is the state-of-the-art hardware undo logging comparison with
+	// its posted-log and source-log optimizations.
+	ATOM
+	// Proteus is the paper's software-supported hardware logging with log
+	// write removal (the LPQ, §4.3).
+	Proteus
+	// ProteusNoLWR is Proteus without log write removal: log flushes
+	// drain to NVM through the WPQ like regular writes.
+	ProteusNoLWR
+)
+
+// Schemes lists all schemes in presentation order (Figure 6's bars).
+var Schemes = []Scheme{PMEM, PMEMPcommit, ATOM, ProteusNoLWR, Proteus, PMEMNoLog}
+
+func (s Scheme) String() string {
+	switch s {
+	case PMEM:
+		return "PMEM"
+	case PMEMPcommit:
+		return "PMEM+pcommit"
+	case PMEMNoLog:
+		return "PMEM+nolog"
+	case ATOM:
+		return "ATOM"
+	case Proteus:
+		return "Proteus"
+	case ProteusNoLWR:
+		return "Proteus+NoLWR"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Mode returns the core execution mode the scheme needs.
+func (s Scheme) Mode() cpu.Mode {
+	switch s {
+	case ATOM:
+		return cpu.ModeATOM
+	case Proteus, ProteusNoLWR:
+		return cpu.ModeProteus
+	default:
+		return cpu.ModePlain
+	}
+}
+
+// LWR reports whether log write removal (the LPQ) is enabled.
+func (s Scheme) LWR() bool { return s == Proteus }
+
+// ADR reports whether the WPQ/LPQ are inside the persistency domain.
+// Only the PMEM+pcommit baseline models the pre-ADR world.
+func (s Scheme) ADR() bool { return s != PMEMPcommit }
+
+// FailureSafe reports whether the scheme claims transaction atomicity
+// across power failures. PMEM+nolog is the ideal case and is not safe.
+func (s Scheme) FailureSafe() bool { return s != PMEMNoLog }
+
+// System is one assembled machine executing a fixed set of traces.
+type System struct {
+	cfg    config.Config
+	scheme Scheme
+
+	store *nvm.Store
+	dev   *nvm.Device
+	mc    *memctrl.Controller
+	l3    *cache.Level
+	cores []*cpu.Core
+
+	coreStats []stats.Core
+	memStat   stats.Mem
+
+	cycle    uint64
+	finished bool
+}
+
+// NewSystem builds a machine for the scheme. traces supplies one micro-op
+// stream per core (missing entries run an idle core); initImage, when
+// non-nil, pre-populates NVM with the workload's functional state after
+// its initialization operations.
+func NewSystem(cfg config.Config, scheme Scheme, traces []*isa.Trace, initImage *nvm.Store) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(traces) > cfg.Cores {
+		return nil, fmt.Errorf("core: %d traces for %d cores", len(traces), cfg.Cores)
+	}
+	store := nvm.NewStore()
+	if initImage != nil {
+		store = initImage.Snapshot()
+	}
+	s := &System{
+		cfg:       cfg,
+		scheme:    scheme,
+		store:     store,
+		coreStats: make([]stats.Core, cfg.Cores),
+	}
+	s.dev = nvm.NewDevice(cfg.Mem, &s.memStat)
+	s.mc = memctrl.New(cfg.Mem, s.dev, store, &s.memStat)
+	s.l3 = cache.NewLevel(cfg.L3)
+	for i := 0; i < cfg.Cores; i++ {
+		var ops []isa.Op
+		if i < len(traces) && traces[i] != nil {
+			ops = traces[i].Ops
+		}
+		hier := cache.NewHierarchy(cfg, s.l3, s.mc, &s.coreStats[i])
+		s.cores = append(s.cores, cpu.New(i, cfg, scheme.Mode(), scheme.LWR(), hier, s.mc, ops, &s.coreStats[i]))
+	}
+	return s, nil
+}
+
+// Device exposes the memory device (endurance accounting).
+func (s *System) Device() *nvm.Device { return s.dev }
+
+// Cycle returns the current simulation cycle.
+func (s *System) Cycle() uint64 { return s.cycle }
+
+// Finished reports whether every core has drained its trace.
+func (s *System) Finished() bool { return s.finished }
+
+// Step advances the machine by up to n cycles, stopping early when all
+// cores finish. It returns the number of cycles actually simulated.
+func (s *System) Step(n uint64) uint64 {
+	var done uint64
+	for ; done < n && !s.finished; done++ {
+		s.cycle++
+		s.mc.Tick(s.cycle)
+		fin := true
+		for _, c := range s.cores {
+			c.Tick(s.cycle)
+			fin = fin && c.Done()
+		}
+		s.finished = fin
+	}
+	return done
+}
+
+// Run simulates to completion (bounded by maxCycles; 0 means a generous
+// default) and returns the report.
+func (s *System) Run(maxCycles uint64) (*stats.Report, error) {
+	if maxCycles == 0 {
+		maxCycles = 20_000_000_000
+	}
+	for !s.finished && s.cycle < maxCycles {
+		s.Step(100_000)
+	}
+	if !s.finished {
+		return nil, fmt.Errorf("core: simulation exceeded %d cycles (scheme %v)", maxCycles, s.scheme)
+	}
+	// Drain residual WPQ contents so NVM write counts are complete; the
+	// performance metric (Report.Cycles) is the core completion time and
+	// excludes this tail.
+	s.mc.ForceDrain(true)
+	for i := 0; i < 1_000_000 && !s.mc.WPQEmpty(); i++ {
+		s.cycle++
+		s.mc.Tick(s.cycle)
+	}
+	s.mc.ForceDrain(false)
+	return s.Report(), nil
+}
+
+// Report snapshots the statistics gathered so far.
+func (s *System) Report() *stats.Report {
+	r := &stats.Report{
+		Label:    s.scheme.String(),
+		CoreStat: append([]stats.Core(nil), s.coreStats...),
+		MemStat:  s.memStat,
+	}
+	for _, c := range s.cores {
+		if c.Done() && c.DoneCycle() > r.Cycles {
+			r.Cycles = c.DoneCycle()
+		}
+	}
+	if r.Cycles == 0 {
+		r.Cycles = s.cycle
+	}
+	return r
+}
+
+// Commits returns each core's committed transactions in commit order.
+func (s *System) Commits() [][]cpu.Commit {
+	out := make([][]cpu.Commit, len(s.cores))
+	for i, c := range s.cores {
+		out[i] = append([]cpu.Commit(nil), c.Commits...)
+	}
+	return out
+}
+
+// CrashImage extracts the persistent state a power failure at the current
+// cycle would leave behind, honoring the scheme's persistency domain.
+func (s *System) CrashImage() *nvm.Store {
+	return s.mc.CrashImage(s.scheme.ADR())
+}
+
+// QueueLens returns the current WPQ and LPQ occupancy (monitoring).
+func (s *System) QueueLens() (wpq, lpq int) {
+	return s.mc.WPQLen(), s.mc.LPQLen()
+}

@@ -1,0 +1,134 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/logging"
+	"repro/internal/workload"
+)
+
+func TestSchemeProperties(t *testing.T) {
+	cases := []struct {
+		s           core.Scheme
+		adr, lwr    bool
+		failureSafe bool
+	}{
+		{core.PMEM, true, false, true},
+		{core.PMEMPcommit, false, false, true},
+		{core.PMEMNoLog, true, false, false},
+		{core.ATOM, true, false, true},
+		{core.Proteus, true, true, true},
+		{core.ProteusNoLWR, true, false, true},
+	}
+	for _, c := range cases {
+		if c.s.ADR() != c.adr || c.s.LWR() != c.lwr || c.s.FailureSafe() != c.failureSafe {
+			t.Errorf("%v: adr=%v lwr=%v safe=%v", c.s, c.s.ADR(), c.s.LWR(), c.s.FailureSafe())
+		}
+		if c.s.String() == "" {
+			t.Errorf("scheme %d has no name", int(c.s))
+		}
+	}
+}
+
+func TestSystemValidation(t *testing.T) {
+	cfg := config.Default()
+	cfg.Cores = 1
+	// More traces than cores.
+	if _, err := core.NewSystem(cfg, core.PMEM, []*isa.Trace{{}, {}}, nil); err == nil {
+		t.Fatal("accepted more traces than cores")
+	}
+	// Invalid config.
+	bad := cfg
+	bad.Core.ROB = 0
+	if _, err := core.NewSystem(bad, core.PMEM, nil, nil); err == nil {
+		t.Fatal("accepted invalid config")
+	}
+}
+
+func TestSystemDeterminism(t *testing.T) {
+	p := workload.Params{Threads: 2, InitOps: 64, SimOps: 24, Seed: 13}
+	w, err := workload.Build(workload.RBTree, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default()
+	cfg.Cores = 2
+	var prev uint64
+	for i := 0; i < 3; i++ {
+		traces, _ := logging.Generate(w, core.Proteus, cfg)
+		sys, _ := core.NewSystem(cfg, core.Proteus, traces, w.InitImage)
+		rep, err := sys.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && rep.Cycles != prev {
+			t.Fatalf("run %d: %d cycles, previous %d — simulation not deterministic", i, rep.Cycles, prev)
+		}
+		prev = rep.Cycles
+	}
+}
+
+func TestStepAndFinished(t *testing.T) {
+	p := workload.Params{Threads: 1, InitOps: 32, SimOps: 4, Seed: 1}
+	w, _ := workload.Build(workload.Queue, p)
+	cfg := config.Default()
+	cfg.Cores = 1
+	traces, _ := logging.Generate(w, core.PMEMNoLog, cfg)
+	sys, _ := core.NewSystem(cfg, core.PMEMNoLog, traces, w.InitImage)
+	if sys.Finished() {
+		t.Fatal("finished before stepping")
+	}
+	n := sys.Step(10)
+	if n != 10 || sys.Cycle() != 10 {
+		t.Fatalf("step accounting: n=%d cycle=%d", n, sys.Cycle())
+	}
+	for !sys.Finished() {
+		sys.Step(10_000)
+	}
+	// Stepping a finished system is a no-op.
+	if n := sys.Step(100); n != 0 {
+		t.Fatalf("finished system stepped %d cycles", n)
+	}
+}
+
+func TestIdleCore(t *testing.T) {
+	// Fewer traces than cores: the extra core idles and the system still
+	// completes.
+	p := workload.Params{Threads: 1, InitOps: 32, SimOps: 4, Seed: 1}
+	w, _ := workload.Build(workload.Queue, p)
+	cfg := config.Default()
+	cfg.Cores = 4
+	traces, _ := logging.Generate(w, core.PMEM, cfg)
+	sys, _ := core.NewSystem(cfg, core.PMEM, traces, w.InitImage)
+	if _, err := sys.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMoreCoresSlowerOrEqualPerCore: the same single-thread trace takes at
+// least as long when three other cores compete for the L3 and MC.
+func TestSharedResourceContention(t *testing.T) {
+	p := workload.Params{Threads: 4, InitOps: 4000, SimOps: 64, Seed: 3}
+	w, _ := workload.Build(workload.AVLTree, p)
+	cfg := config.Default()
+
+	traces, _ := logging.Generate(w, core.PMEM, cfg)
+	// Alone: only thread 0's trace.
+	alone, _ := core.NewSystem(cfg, core.PMEM, traces[:1], w.InitImage)
+	ra, err := alone.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Together: all four.
+	together, _ := core.NewSystem(cfg, core.PMEM, traces, w.InitImage)
+	rt, err := together.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.CoreStat[0].Cycles < ra.CoreStat[0].Cycles {
+		t.Fatalf("core 0 ran faster with contention: %d vs %d", rt.CoreStat[0].Cycles, ra.CoreStat[0].Cycles)
+	}
+}

@@ -1,0 +1,25 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/logging"
+	"repro/internal/workload"
+)
+
+func TestProbeWPQ(t *testing.T) {
+	p := workload.Params{Threads: 2, InitOps: 64, SimOps: 32, Seed: 7}
+	w, _ := workload.Build(workload.Queue, p)
+	cfg := config.Default()
+	cfg.Cores = p.Threads
+	traces, _ := logging.Generate(w, core.PMEM, cfg)
+	sys, _ := core.NewSystem(cfg, core.PMEM, traces, w.InitImage)
+	for i := 0; i < 12 && !sys.Finished(); i++ {
+		sys.Step(5000)
+		wpq, lpq := sys.QueueLens()
+		rep := sys.Report()
+		t.Logf("cyc=%d wpqLen=%d lpq=%d writes=%d retired=%d", sys.Cycle(), wpq, lpq, rep.MemStat.NVMWrites(), rep.TotalRetired())
+	}
+}

@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/logging"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TestScaleRatios runs a realistic-footprint queue workload (paper-scale
+// initialization, reduced timed ops) and reports speedups vs PMEM.
+func TestScaleRatios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale run")
+	}
+	for _, bench := range []struct {
+		kind workload.Kind
+		p    workload.Params
+	}{
+		{workload.Queue, workload.Params{Threads: 4, InitOps: 20000, SimOps: 300, Seed: 7}},
+		{workload.HashMap, workload.Params{Threads: 4, InitOps: 25000, SimOps: 200, Seed: 7}},
+		{workload.AVLTree, workload.Params{Threads: 4, InitOps: 50000, SimOps: 150, Seed: 7}},
+	} {
+		w, err := workload.Build(bench.kind, bench.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := config.Default()
+		var base uint64
+		for _, scheme := range core.Schemes {
+			traces, _ := logging.Generate(w, scheme, cfg)
+			sys, _ := core.NewSystem(cfg, scheme, traces, w.InitImage)
+			rep, err := sys.Run(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if scheme == core.PMEM {
+				base = rep.Cycles
+			}
+			c0 := rep.CoreStat[0]
+			rl := float64(0)
+			if rep.MemStat.ReadsServed > 0 {
+				rl = float64(rep.MemStat.ReadLatency) / float64(rep.MemStat.ReadsServed)
+			}
+			t.Logf("%v %-14s cycles=%9d speedup=%.3f writes=%d reads=%d rdlat=%.0f fwd=%d sfW=%d pcW=%d sbBlk=%d txeW=%d atomD=%d rob=%d lq=%d sq=%d lreg=%d logq=%d", bench.kind, scheme, rep.Cycles,
+				float64(base)/float64(rep.Cycles), rep.MemStat.NVMWrites(), rep.MemStat.ReadsServed, rl, rep.MemStat.WPQForwards,
+				c0.SfenceWait, c0.PcommitWait, c0.SBWPQBlocked, c0.TxEndWait, c0.ATOMLogDelays,
+				c0.StallCycles[stats.StallROB], c0.StallCycles[stats.StallLoadQ], c0.StallCycles[stats.StallStoreQ], c0.StallCycles[stats.StallLogReg], c0.StallCycles[stats.StallLogQ])
+		}
+	}
+}

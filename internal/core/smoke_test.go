@@ -1,0 +1,59 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/logging"
+	"repro/internal/recovery"
+	"repro/internal/workload"
+)
+
+// TestSmokeAllSchemes runs a small queue workload under every scheme and
+// checks that the simulation completes, commits every transaction, and
+// leaves the persistent image in the all-transactions-applied state.
+func TestSmokeAllSchemes(t *testing.T) {
+	p := workload.Params{Threads: 2, InitOps: 64, SimOps: 32, Seed: 7}
+	w, err := workload.Build(workload.Queue, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Check(); err != nil {
+		t.Fatal(err)
+	}
+	oracle := recovery.NewOracle(w)
+	cfg := config.Default()
+	cfg.Cores = p.Threads
+
+	for _, scheme := range core.Schemes {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			traces, err := logging.Generate(w, scheme, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := core.NewSystem(cfg, scheme, traces, w.InitImage)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := sys.Run(200_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Cycles == 0 {
+				t.Fatal("zero cycles")
+			}
+			for c, commits := range sys.Commits() {
+				if got, want := len(commits), p.SimOps; got != want {
+					t.Errorf("core %d committed %d transactions, want %d", c, got, want)
+				}
+			}
+			img := sys.CrashImage()
+			if err := oracle.VerifyFinal(img); err != nil {
+				t.Errorf("final state: %v", err)
+			}
+			t.Logf("%-14s cycles=%d retired=%d nvmWrites=%d", scheme, rep.Cycles, rep.TotalRetired(), rep.MemStat.NVMWrites())
+		})
+	}
+}

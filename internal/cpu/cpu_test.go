@@ -1,0 +1,350 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
+
+func run(t *testing.T, scheme core.Scheme, cfg config.Config, ops []isa.Op) (*stats.Report, *core.System) {
+	t.Helper()
+	tr := &isa.Trace{Ops: ops}
+	sys, err := core.NewSystem(cfg, scheme, []*isa.Trace{tr}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run(50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, sys
+}
+
+func oneCore() config.Config {
+	cfg := config.Default()
+	cfg.Cores = 1
+	return cfg
+}
+
+var heapLine = uint64(isa.HeapBase + 4096)
+
+// TestSfenceWaitsForClwb: a store+clwb+sfence sequence must take at least
+// the round trip to the memory controller; without the sfence it retires
+// quickly.
+func TestSfenceWaitsForClwb(t *testing.T) {
+	cfg := oneCore()
+	withFence := []isa.Op{
+		{Kind: isa.St, Addr: heapLine, Size: 8, Val: 1},
+		{Kind: isa.Clwb, Addr: heapLine},
+		{Kind: isa.Sfence},
+		{Kind: isa.Alu, Val: 1},
+	}
+	withoutFence := []isa.Op{
+		{Kind: isa.St, Addr: heapLine, Size: 8, Val: 1},
+		{Kind: isa.Clwb, Addr: heapLine},
+		{Kind: isa.Alu, Val: 1},
+	}
+	rf, _ := run(t, core.PMEM, cfg, withFence)
+	rn, _ := run(t, core.PMEM, cfg, withoutFence)
+	if rf.Cycles <= rn.Cycles {
+		t.Fatalf("sfence free: %d vs %d cycles", rf.Cycles, rn.Cycles)
+	}
+	if rf.CoreStat[0].Sfences != 1 || rf.CoreStat[0].Clwbs != 1 {
+		t.Fatalf("counters: %d sfences, %d clwbs", rf.CoreStat[0].Sfences, rf.CoreStat[0].Clwbs)
+	}
+}
+
+// TestPcommitWaitsForNVM: pcommit must be much more expensive than sfence
+// alone (it waits for the WPQ to drain into slow NVM).
+func TestPcommitWaitsForNVM(t *testing.T) {
+	cfg := oneCore()
+	base := []isa.Op{
+		{Kind: isa.St, Addr: heapLine, Size: 8, Val: 1},
+		{Kind: isa.Clwb, Addr: heapLine},
+		{Kind: isa.Sfence},
+	}
+	withPc := append(append([]isa.Op{}, base...), isa.Op{Kind: isa.Pcommit})
+	rb, _ := run(t, core.PMEMPcommit, cfg, base)
+	rp, _ := run(t, core.PMEMPcommit, cfg, withPc)
+	if rp.Cycles < rb.Cycles+100 {
+		t.Fatalf("pcommit too cheap: %d vs %d", rp.Cycles, rb.Cycles)
+	}
+}
+
+// txOps builds a minimal hardware-logging transaction writing n distinct
+// lines.
+func txOps(scheme core.Scheme, n int) []isa.Op {
+	var ops []isa.Op
+	ops = append(ops, isa.Op{Kind: isa.TxBegin, Tx: 1})
+	for i := 0; i < n; i++ {
+		addr := heapLine + uint64(i)*isa.LineSize
+		if scheme == core.Proteus || scheme == core.ProteusNoLWR {
+			block := isa.LogBlockAddr(addr)
+			ops = append(ops,
+				isa.Op{Kind: isa.LogLoad, Size: isa.LogBlockSize, Tx: 1, Addr: block},
+				isa.Op{Kind: isa.LogFlush, Size: isa.LogBlockSize, Tx: 1, Addr: block})
+		}
+		ops = append(ops, isa.Op{Kind: isa.St, Addr: addr, Size: 8, Val: uint64(i) + 100, Tx: 1})
+	}
+	ops = append(ops, isa.Op{Kind: isa.TxEnd, Tx: 1})
+	return ops
+}
+
+// TestProteusTransactionDurable: after tx-end retires, the transaction's
+// data must be in the persistency domain (WPQ or NVM), and the LPQ entries
+// dropped.
+func TestProteusTransactionDurable(t *testing.T) {
+	cfg := oneCore()
+	rep, sys := run(t, core.Proteus, cfg, txOps(core.Proteus, 3))
+	img := sys.CrashImage()
+	for i := 0; i < 3; i++ {
+		addr := heapLine + uint64(i)*isa.LineSize
+		if got := img.ReadUint64(addr); got != uint64(i)+100 {
+			t.Fatalf("line %d: %#x not durable (got %d)", i, addr, got)
+		}
+	}
+	if rep.MemStat.LPQDropped == 0 {
+		t.Fatal("no LPQ entries dropped: log write removal inactive")
+	}
+	if got := len(sys.Commits()[0]); got != 1 {
+		t.Fatalf("%d commits", got)
+	}
+}
+
+// TestProteusLLTFilters: two stores to the same 32-byte block log once.
+func TestProteusLLTFilters(t *testing.T) {
+	cfg := oneCore()
+	block := isa.LogBlockAddr(heapLine)
+	ops := []isa.Op{
+		{Kind: isa.TxBegin, Tx: 1},
+		{Kind: isa.LogLoad, Size: 32, Tx: 1, Addr: block},
+		{Kind: isa.LogFlush, Size: 32, Tx: 1, Addr: block},
+		{Kind: isa.St, Addr: heapLine, Size: 8, Val: 1, Tx: 1},
+		{Kind: isa.LogLoad, Size: 32, Tx: 1, Addr: block},
+		{Kind: isa.LogFlush, Size: 32, Tx: 1, Addr: block},
+		{Kind: isa.St, Addr: heapLine + 8, Size: 8, Val: 2, Tx: 1},
+		{Kind: isa.TxEnd, Tx: 1},
+	}
+	rep, _ := run(t, core.Proteus, cfg, ops)
+	c := rep.CoreStat[0]
+	if c.LLTHits != 1 || c.LLTMisses != 1 {
+		t.Fatalf("LLT hits/misses: %d/%d", c.LLTHits, c.LLTMisses)
+	}
+	if c.LogFlushes != 1 {
+		t.Fatalf("log flushes %d, want 1 (second filtered)", c.LogFlushes)
+	}
+}
+
+// TestProteusLLTClearedAtTxEnd: the same block logged in two transactions
+// creates two log entries (the LLT is cleared at tx-end).
+func TestProteusLLTClearedAtTxEnd(t *testing.T) {
+	cfg := oneCore()
+	block := isa.LogBlockAddr(heapLine)
+	one := func(tx uint32) []isa.Op {
+		return []isa.Op{
+			{Kind: isa.TxBegin, Tx: tx},
+			{Kind: isa.LogLoad, Size: 32, Tx: tx, Addr: block},
+			{Kind: isa.LogFlush, Size: 32, Tx: tx, Addr: block},
+			{Kind: isa.St, Addr: heapLine, Size: 8, Val: uint64(tx), Tx: tx},
+			{Kind: isa.TxEnd, Tx: tx},
+		}
+	}
+	ops := append(one(1), one(2)...)
+	rep, _ := run(t, core.Proteus, cfg, ops)
+	if got := rep.CoreStat[0].LogFlushes; got != 2 {
+		t.Fatalf("log flushes %d, want 2", got)
+	}
+	if got := rep.CoreStat[0].LLTMisses; got != 2 {
+		t.Fatalf("LLT misses %d, want 2 (cleared between txns)", got)
+	}
+}
+
+// TestATOMDelaysStores: ATOM's transactional stores wait for log acks;
+// the same trace under nolog semantics (plain mode) retires faster.
+func TestATOMDelaysStores(t *testing.T) {
+	cfg := oneCore()
+	ops := txOps(core.ATOM, 8)
+	ra, _ := run(t, core.ATOM, cfg, ops)
+	rp, _ := run(t, core.PMEMNoLog, cfg, ops) // plain mode: no hardware logging
+	if ra.Cycles <= rp.Cycles {
+		t.Fatalf("ATOM (%d) not slower than unlogged (%d)", ra.Cycles, rp.Cycles)
+	}
+	if ra.MemStat.Writes[stats.WriteLog] == 0 {
+		t.Fatal("ATOM produced no log writes")
+	}
+	if ra.MemStat.Writes[stats.WriteTruncate] == 0 && ra.MemStat.Writes[stats.WriteLog] > 0 {
+		// Truncation may be fully cancelled in the WPQ for a tiny run;
+		// at least the commit must have happened.
+		if len(raCommits(t, cfg, ops)) != 1 {
+			t.Fatal("ATOM transaction did not commit")
+		}
+	}
+}
+
+func raCommits(t *testing.T, cfg config.Config, ops []isa.Op) []interface{} {
+	t.Helper()
+	_, sys := run(t, core.ATOM, cfg, ops)
+	cs := sys.Commits()[0]
+	out := make([]interface{}, len(cs))
+	for i := range cs {
+		out[i] = cs[i]
+	}
+	return out
+}
+
+// TestLogQSizeOneStillCorrect: a LogQ of one entry serializes log flushes
+// but must not deadlock or drop entries.
+func TestLogQSizeOneStillCorrect(t *testing.T) {
+	cfg := oneCore()
+	cfg.Proteus.LogQ = 1
+	rep, sys := run(t, core.Proteus, cfg, txOps(core.Proteus, 6))
+	if got := len(sys.Commits()[0]); got != 1 {
+		t.Fatalf("%d commits", got)
+	}
+	if rep.CoreStat[0].StallCycles[stats.StallLogQ] == 0 {
+		t.Fatal("LogQ=1 never stalled dispatch")
+	}
+	big := oneCore()
+	rep2, _ := run(t, core.Proteus, big, txOps(core.Proteus, 6))
+	if rep.Cycles < rep2.Cycles {
+		t.Fatalf("LogQ=1 (%d) faster than LogQ=16 (%d)", rep.Cycles, rep2.Cycles)
+	}
+}
+
+// TestProteusNoLWRWritesLogToNVM: without log write removal, log entries
+// reach NVM.
+func TestProteusNoLWRWritesLogToNVM(t *testing.T) {
+	cfg := oneCore()
+	r1, _ := run(t, core.ProteusNoLWR, cfg, txOps(core.ProteusNoLWR, 4))
+	r2, _ := run(t, core.Proteus, cfg, txOps(core.Proteus, 4))
+	if r1.MemStat.Writes[stats.WriteLog] == 0 {
+		t.Fatal("NoLWR produced no NVM log writes")
+	}
+	if r2.MemStat.Writes[stats.WriteLog] >= r1.MemStat.Writes[stats.WriteLog] {
+		t.Fatalf("LWR did not reduce log writes: %d vs %d",
+			r2.MemStat.Writes[stats.WriteLog], r1.MemStat.Writes[stats.WriteLog])
+	}
+}
+
+// TestLockOpsExecute: lock acquire/release complete and are timed.
+func TestLockOpsExecute(t *testing.T) {
+	cfg := oneCore()
+	lock, _ := isa.VolatileWindow(0)
+	ops := []isa.Op{
+		{Kind: isa.LockAcq, Addr: lock, Size: 8},
+		{Kind: isa.Alu, Val: 3},
+		{Kind: isa.LockRel, Addr: lock, Size: 8},
+	}
+	rep, _ := run(t, core.PMEM, cfg, ops)
+	if rep.TotalRetired() != 3 {
+		t.Fatalf("retired %d", rep.TotalRetired())
+	}
+}
+
+// TestEmptyTransaction: tx-begin immediately followed by tx-end commits
+// without log activity.
+func TestEmptyTransaction(t *testing.T) {
+	cfg := oneCore()
+	ops := []isa.Op{{Kind: isa.TxBegin, Tx: 1}, {Kind: isa.TxEnd, Tx: 1}}
+	for _, s := range []core.Scheme{core.ATOM, core.Proteus} {
+		rep, sys := run(t, s, cfg, ops)
+		if len(sys.Commits()[0]) != 1 {
+			t.Fatalf("%v: empty txn did not commit", s)
+		}
+		if rep.MemStat.NVMWrites() != 0 {
+			t.Fatalf("%v: empty txn wrote %d lines to NVM", s, rep.MemStat.NVMWrites())
+		}
+	}
+}
+
+// TestLogSave drains the LPQ to NVM (context switch, §4.4).
+func TestLogSave(t *testing.T) {
+	cfg := oneCore()
+	block := isa.LogBlockAddr(heapLine)
+	ops := []isa.Op{
+		{Kind: isa.TxBegin, Tx: 1},
+		{Kind: isa.LogLoad, Size: 32, Tx: 1, Addr: block},
+		{Kind: isa.LogFlush, Size: 32, Tx: 1, Addr: block},
+		{Kind: isa.St, Addr: heapLine, Size: 8, Val: 7, Tx: 1},
+		{Kind: isa.LogSave, Tx: 1},
+		{Kind: isa.TxEnd, Tx: 1},
+	}
+	rep, _ := run(t, core.Proteus, cfg, ops)
+	if rep.MemStat.LPQDrained == 0 {
+		t.Fatal("log-save drained nothing to NVM")
+	}
+}
+
+// TestROBPressure: a long-latency chained load followed by a large ALU
+// stream must fill the ROB and stall dispatch.
+func TestROBPressure(t *testing.T) {
+	cfg := oneCore()
+	ops := []isa.Op{
+		{Kind: isa.Ld, Addr: heapLine, Size: 8},         // NVM miss
+		{Kind: isa.Ld, Addr: heapLine + 1<<20, Size: 8}, // chained miss
+		{Kind: isa.Ld, Addr: heapLine + 2<<20, Size: 8}, // chained miss
+	}
+	// Hundreds of single-unit ops pile up behind the stalled head.
+	for i := 0; i < cfg.Core.ROB*2; i++ {
+		ops = append(ops, isa.Op{Kind: isa.Alu, Val: 1})
+	}
+	rep, _ := run(t, core.PMEM, cfg, ops)
+	if rep.CoreStat[0].StallCycles[stats.StallROB] == 0 {
+		t.Fatal("ROB never filled")
+	}
+}
+
+// TestLoadQPressure: more outstanding chained loads than LoadQ entries.
+func TestLoadQPressure(t *testing.T) {
+	cfg := oneCore()
+	var ops []isa.Op
+	for i := 0; i < cfg.Core.LoadQ+16; i++ {
+		ops = append(ops, isa.Op{Kind: isa.Ld, Addr: heapLine + uint64(i)<<16, Size: 8})
+	}
+	rep, _ := run(t, core.PMEM, cfg, ops)
+	if rep.CoreStat[0].StallCycles[stats.StallLoadQ] == 0 {
+		t.Fatal("LoadQ never filled")
+	}
+}
+
+// TestStoreQPressure: a burst of stores beyond StoreQ capacity behind a
+// store-buffer drain bottleneck.
+func TestStoreQPressure(t *testing.T) {
+	cfg := oneCore()
+	var ops []isa.Op
+	for i := 0; i < cfg.Core.StoreQ*3; i++ {
+		ops = append(ops, isa.Op{Kind: isa.St, Addr: heapLine + uint64(i)<<16, Size: 8, Val: 1})
+	}
+	rep, _ := run(t, core.PMEM, cfg, ops)
+	if rep.CoreStat[0].StallCycles[stats.StallStoreQ] == 0 {
+		t.Fatal("StoreQ never filled")
+	}
+}
+
+// TestLogRegPressure: more outstanding log pairs than log registers, with
+// slow log-loads, must stall on LR availability at least transiently.
+func TestLogRegPressure(t *testing.T) {
+	cfg := oneCore()
+	cfg.Proteus.LogQ = 64 // don't stall on LogQ first
+	var ops []isa.Op
+	ops = append(ops, isa.Op{Kind: isa.TxBegin, Tx: 1})
+	for i := 0; i < 32; i++ {
+		block := isa.LogBlockAddr(heapLine + uint64(i)<<16) // all LLT misses, NVM misses
+		ops = append(ops,
+			isa.Op{Kind: isa.LogLoad, Size: 32, Tx: 1, Addr: block},
+			isa.Op{Kind: isa.LogFlush, Size: 32, Tx: 1, Addr: block},
+			isa.Op{Kind: isa.St, Addr: block, Size: 8, Val: 1, Tx: 1})
+	}
+	ops = append(ops, isa.Op{Kind: isa.TxEnd, Tx: 1})
+	rep, _ := run(t, core.Proteus, cfg, ops)
+	c := rep.CoreStat[0]
+	if c.StallCycles[stats.StallLogReg]+c.StallCycles[stats.StallLogQ] == 0 {
+		t.Fatal("log structures never pressured dispatch")
+	}
+	if c.LogFlushes != 32 {
+		t.Fatalf("flushes %d", c.LogFlushes)
+	}
+}

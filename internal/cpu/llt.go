@@ -1,0 +1,65 @@
+package cpu
+
+import "repro/internal/isa"
+
+// llt is the Log Lookup Table (§4.2): a small set-associative table of the
+// last few log-from addresses in the current transaction. A hit means the
+// 32-byte block was already logged this transaction, so the log-load and
+// log-flush complete immediately and no log entry is created. It is
+// cleared at tx-end and on context switches.
+type llt struct {
+	sets [][]lltWay
+	mask uint64
+}
+
+type lltWay struct {
+	tag   uint64
+	valid bool
+	lru   uint64
+}
+
+func newLLT(entries, ways int) *llt {
+	n := entries / ways
+	if n < 1 {
+		n = 1
+	}
+	sets := make([][]lltWay, n)
+	for i := range sets {
+		sets[i] = make([]lltWay, ways)
+	}
+	return &llt{sets: sets, mask: uint64(n - 1)}
+}
+
+// LookupInsert checks block (a 32-byte-aligned log-from address) and
+// returns whether it was present. On a miss the block is inserted,
+// replacing the LRU way.
+func (l *llt) LookupInsert(block, now uint64) bool {
+	s := l.sets[(block/isa.LogBlockSize)&l.mask]
+	for i := range s {
+		if s[i].valid && s[i].tag == block {
+			s[i].lru = now
+			return true
+		}
+	}
+	victim := &s[0]
+	for i := range s {
+		if !s[i].valid {
+			victim = &s[i]
+			break
+		}
+		if s[i].lru < victim.lru {
+			victim = &s[i]
+		}
+	}
+	*victim = lltWay{tag: block, valid: true, lru: now}
+	return false
+}
+
+// Clear invalidates the whole table (tx-end, context switch).
+func (l *llt) Clear() {
+	for _, s := range l.sets {
+		for i := range s {
+			s[i] = lltWay{}
+		}
+	}
+}

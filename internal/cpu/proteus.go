@@ -1,0 +1,171 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/logfmt"
+	"repro/internal/memctrl"
+	"repro/internal/stats"
+)
+
+// freeLR returns a free log-register index, or -1 (a structural hazard
+// that stalls dispatch, §3.2).
+func (c *Core) freeLR() int {
+	for i := range c.lr {
+		if !c.lr[i].busy {
+			return i
+		}
+	}
+	return -1
+}
+
+// dispatchLogLoad enters a log-load into the pipeline. The LLT is checked
+// here (the log-from address needs no register inputs in the modeled
+// traces): on a hit, the log-load — and its paired log-flush — complete
+// immediately and no log entry is created (§4.2).
+//
+// The pre-image is captured at dispatch with forwarding from older
+// in-flight stores; at this point no younger op (in particular not the
+// paired store) is in the ROB, so the captured bytes are exactly the
+// pre-transaction value of the block.
+func (c *Core) dispatchLogLoad(now uint64, op isa.Op, lri int) {
+	block := isa.LogBlockAddr(op.Addr)
+	hit := c.llt.LookupInsert(block, now)
+	if c.st != nil {
+		c.st.LogLoads++
+		if hit {
+			c.st.LLTHits++
+		} else {
+			c.st.LLTMisses++
+		}
+	}
+	c.lr[lri] = lrSlot{busy: true, filtered: hit, addr: block}
+	if !hit {
+		c.forwardedPeek(block, isa.LogBlockSize, c.lr[lri].data[:])
+	}
+	c.lrFIFO = append(c.lrFIFO, lri)
+	c.loads++
+	e := c.robPush(robEntry{op: op, lr: lri, lqe: -1, dispatch: now})
+	if hit {
+		e.issued = true
+		e.doneAt = now + 1
+		c.lr[lri].issued = true
+		c.lr[lri].doneAt = now + 1
+	} else {
+		c.issueProteusLogLoad(now, e)
+	}
+}
+
+// issueProteusLogLoad sends the 32-byte log read into the hierarchy. The
+// data was already captured at dispatch; this models the read's timing.
+func (c *Core) issueProteusLogLoad(now uint64, e *robEntry) {
+	lr := &c.lr[e.lr]
+	done, ok := c.hier.Load(now, lr.addr, isa.LogBlockSize, nil)
+	if !ok {
+		return
+	}
+	e.issued = true
+	e.doneAt = done
+	lr.issued = true
+	lr.doneAt = done
+}
+
+// dispatchLogFlush enters a log-flush. A filtered flush (LLT hit on its
+// log-load) completes immediately; otherwise a LogQ entry is required and
+// dispatch stalls when none is free, which also guarantees the persist
+// ordering against later same-address stores can be enforced (§4.2).
+// The log-to address is assigned here, i.e. in program order across all
+// log-flushes, so recovery can rely on the earliest entry per address
+// being first in the log (§4.2).
+func (c *Core) dispatchLogFlush(now uint64, op isa.Op) bool {
+	if len(c.lrFIFO) == 0 {
+		panic(fmt.Sprintf("cpu: core %d log-flush without preceding log-load at pc %d", c.id, c.pc))
+	}
+	lri := c.lrFIFO[0]
+	if c.lr[lri].filtered {
+		c.lrFIFO = c.lrFIFO[1:]
+		c.lr[lri] = lrSlot{} // recycle immediately; nothing to flush
+		c.robPush(robEntry{op: op, issued: true, doneAt: now + 1, filtered: true, lr: -1, lqe: -1, dispatch: now})
+		return true
+	}
+	slot := -1
+	for i := range c.logQ {
+		if !c.logQ[i].valid {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		c.stall(stats.StallLogQ)
+		return false
+	}
+	c.lrFIFO = c.lrFIFO[1:]
+
+	logTo := c.curlog
+	c.curlog += isa.LineSize
+	if c.curlog >= c.logEnd {
+		c.curlog = c.logStart
+	}
+	t := c.dtx()
+	if t != nil {
+		t.logCount++
+		t.lastLogTo = logTo
+		if uint64(t.logCount)*isa.LineSize > c.logEnd-c.logStart {
+			if c.st != nil {
+				c.st.LogOverflow++
+			}
+		}
+	}
+
+	c.lqSeq++
+	c.logQ[slot] = lqEntry{
+		valid: true, lr: lri, logFrom: c.lr[lri].addr, logTo: logTo,
+		tx: op.Tx, seq: c.lqSeq,
+	}
+	if c.st != nil {
+		c.st.LogFlushes++
+	}
+	c.robPush(robEntry{op: op, issued: true, doneAt: now + 1, lr: lri, lqe: slot, lqSeq: c.lqSeq, dispatch: now})
+	return true
+}
+
+// tickLogQ advances in-flight log flushes: copies log data out of ready
+// log registers, sends flushes to the memory controller (concurrently —
+// the LogQ hides the logging latency, §4.2), and frees entries when the
+// controller acknowledges receipt.
+func (c *Core) tickLogQ(now uint64) {
+	for i := range c.logQ {
+		q := &c.logQ[i]
+		if !q.valid {
+			continue
+		}
+		if !q.hasData {
+			lr := &c.lr[q.lr]
+			if lr.busy && lr.issued && lr.doneAt <= now {
+				q.data = lr.data
+				q.hasData = true
+				// The register is recycled as soon as the LogQ owns the
+				// data — LRs "can be recycled quickly", which is why
+				// eight suffice (§4.2).
+				*lr = lrSlot{}
+			}
+		}
+		if q.hasData && !q.issued {
+			arrive := now + c.mcTrip
+			line := logfmt.EncodeProteus(logfmt.ProteusEntry{Data: q.data, From: q.logFrom, Tx: q.tx, Seq: q.seq})
+			if c.lwr {
+				c.mc.LogFlush(arrive, memctrl.LogEntry{
+					Core: c.id, Tx: q.tx, LogTo: q.logTo, Data: line,
+				})
+			} else if !c.mc.WriteLine(arrive, q.logTo, line, stats.WriteLog) {
+				continue // WPQ full; retry next cycle
+			}
+			q.issued = true
+			q.ackAt = arrive + 1 + c.mcTrip
+		}
+		if q.issued && q.ackAt <= now {
+			q.valid = false
+		}
+	}
+}

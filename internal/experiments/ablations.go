@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/logging"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Ablations beyond the paper's own sensitivity study (§7): each isolates
+// one design choice DESIGN.md calls out.
+
+// PersistencyModels quantifies §2.1's taxonomy on the software-logging
+// baseline: strict persistency (fence per store) versus the epoch-style
+// durable-transaction steps the paper uses. Values are slowdowns relative
+// to the durable-transaction model (higher = slower).
+func PersistencyModels(opt Options) (*stats.Table, error) {
+	cfg := config.Default()
+	cfg.Cores = opt.Threads
+	r := newRunner(opt)
+	models := []logging.PersistencyModel{logging.ModelDurableTx, logging.ModelEpoch, logging.ModelStrict}
+	cols := make([]string, 0, len(models))
+	for _, m := range models {
+		cols = append(cols, m.String())
+	}
+	tab := stats.NewTable("Ablation: persistency models on software logging (slowdown vs durable-tx)", "bench", benchRows(), cols)
+	for _, k := range workload.Table2 {
+		w, err := r.workload(k)
+		if err != nil {
+			return nil, err
+		}
+		var base uint64
+		for _, m := range models {
+			traces, err := logging.GenerateOpts(w, core.PMEM, cfg, logging.Options{Model: m})
+			if err != nil {
+				return nil, err
+			}
+			sys, err := core.NewSystem(cfg, core.PMEM, traces, w.InitImage)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := sys.Run(0)
+			if err != nil {
+				return nil, err
+			}
+			if m == logging.ModelDurableTx {
+				base = rep.Cycles
+			}
+			tab.Set(k.Abbrev(), m.String(), float64(rep.Cycles)/float64(base))
+		}
+	}
+	tab.AddGeoMeanRow()
+	return tab, nil
+}
+
+// LLTSizes is the LLT capacity sweep.
+var LLTSizes = []int{8, 16, 32, 64, 128, 256}
+
+// LLTSweep measures the LLT miss rate and the log flushes per transaction
+// as the table grows (the paper fixes 64 entries; this shows why). The
+// returned table holds miss rates in percent.
+func LLTSweep(opt Options) (*stats.Table, error) {
+	cfg := config.Default()
+	cfg.Cores = opt.Threads
+	r := newRunner(opt)
+	cols := make([]string, 0, len(LLTSizes))
+	for _, n := range LLTSizes {
+		cols = append(cols, fmt.Sprintf("LLT=%d", n))
+	}
+	tab := stats.NewTable("Ablation: LLT miss rate (%) vs capacity", "bench", benchRows(), cols)
+	tab.Format = "%8.1f"
+	for _, k := range workload.Table2 {
+		for _, n := range LLTSizes {
+			c := cfg
+			c.Proteus.LLTSize = n
+			ways := c.Proteus.LLTWays
+			if n < ways {
+				ways = n
+			}
+			c.Proteus.LLTWays = ways
+			rep, err := r.run(k, core.Proteus, c)
+			if err != nil {
+				return nil, err
+			}
+			tab.Set(k.Abbrev(), fmt.Sprintf("LLT=%d", n), rep.LLTMissRate())
+		}
+	}
+	return tab, nil
+}
+
+// StaticVsDynamicFiltering compares the hardware LLT against a
+// perfect-alias compiler that statically eliminates duplicate log pairs
+// (§4.2 discusses exactly this alternative). Columns: Proteus speedup
+// over PMEM with dynamic filtering, with static elimination, and the
+// log-flush reduction static elimination achieves over the instruction
+// stream the LLT sees.
+func StaticVsDynamicFiltering(opt Options) (*stats.Table, error) {
+	cfg := config.Default()
+	cfg.Cores = opt.Threads
+	r := newRunner(opt)
+	cols := []string{"dynamic(LLT)", "static(compiler)", "logops-emitted-ratio"}
+	tab := stats.NewTable("Ablation: LLT vs compiler-side log elimination", "bench", benchRows(), cols)
+	for _, k := range workload.Table2 {
+		w, err := r.workload(k)
+		if err != nil {
+			return nil, err
+		}
+		base, err := r.run(k, core.PMEM, cfg)
+		if err != nil {
+			return nil, err
+		}
+		var speedup [2]float64
+		var emitted [2]uint64
+		for i, o := range []logging.Options{{}, {StaticLogElim: true}} {
+			traces, err := logging.GenerateOpts(w, core.Proteus, cfg, o)
+			if err != nil {
+				return nil, err
+			}
+			var logOps uint64
+			for _, tr := range traces {
+				logOps += uint64(tr.Summarize().LogFlushes)
+			}
+			emitted[i] = logOps
+			sys, err := core.NewSystem(cfg, core.Proteus, traces, w.InitImage)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := sys.Run(0)
+			if err != nil {
+				return nil, err
+			}
+			speedup[i] = rep.Speedup(base)
+		}
+		tab.Set(k.Abbrev(), "dynamic(LLT)", speedup[0])
+		tab.Set(k.Abbrev(), "static(compiler)", speedup[1])
+		tab.Set(k.Abbrev(), "logops-emitted-ratio", float64(emitted[1])/float64(max(emitted[0], 1)))
+	}
+	tab.AddGeoMeanRow()
+	return tab, nil
+}
+
+// ATOMInFlightSizes sweeps how many concurrent log-creation requests the
+// ATOM model allows.
+var ATOMInFlightSizes = []int{1, 2, 4, 8, 16}
+
+// ATOMInFlightSweep shows the cost of ATOM's store-retirement coupling:
+// even with deeply pipelined log requests it cannot reach Proteus, whose
+// LogQ decouples stores entirely. Values are speedups over PMEM.
+func ATOMInFlightSweep(opt Options) (*stats.Table, error) {
+	cfg := config.Default()
+	cfg.Cores = opt.Threads
+	r := newRunner(opt)
+	cols := make([]string, 0, len(ATOMInFlightSizes)+1)
+	for _, n := range ATOMInFlightSizes {
+		cols = append(cols, fmt.Sprintf("inflight=%d", n))
+	}
+	cols = append(cols, "Proteus")
+	tab := stats.NewTable("Ablation: ATOM log-request pipelining (speedup vs PMEM)", "bench", benchRows(), cols)
+	for _, k := range workload.Table2 {
+		base, err := r.run(k, core.PMEM, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range ATOMInFlightSizes {
+			c := cfg
+			c.ATOM.InFlight = n
+			rep, err := r.run(k, core.ATOM, c)
+			if err != nil {
+				return nil, err
+			}
+			tab.Set(k.Abbrev(), fmt.Sprintf("inflight=%d", n), rep.Speedup(base))
+		}
+		rep, err := r.run(k, core.Proteus, cfg)
+		if err != nil {
+			return nil, err
+		}
+		tab.Set(k.Abbrev(), "Proteus", rep.Speedup(base))
+	}
+	tab.AddGeoMeanRow()
+	return tab, nil
+}
+
+// WPQSizes sweeps the write pending queue capacity.
+var WPQSizes = []int{16, 32, 64, 128, 256}
+
+// WPQSweep shows the sensitivity of the software baseline to WPQ depth
+// (the paper motivates the LPQ by the cost of growing the WPQ; this is
+// the performance side of that trade).
+func WPQSweep(opt Options) (*stats.Table, error) {
+	cfg := config.Default()
+	cfg.Cores = opt.Threads
+	r := newRunner(opt)
+	cols := make([]string, 0, len(WPQSizes))
+	for _, n := range WPQSizes {
+		cols = append(cols, fmt.Sprintf("WPQ=%d", n))
+	}
+	tab := stats.NewTable("Ablation: PMEM cycles normalized to WPQ=128", "bench", benchRows(), cols)
+	for _, k := range workload.Table2 {
+		var base uint64
+		{
+			c := cfg
+			c.Mem.WPQ = 128
+			rep, err := r.run(k, core.PMEM, c)
+			if err != nil {
+				return nil, err
+			}
+			base = rep.Cycles
+		}
+		for _, n := range WPQSizes {
+			c := cfg
+			c.Mem.WPQ = n
+			rep, err := r.run(k, core.PMEM, c)
+			if err != nil {
+				return nil, err
+			}
+			tab.Set(k.Abbrev(), fmt.Sprintf("WPQ=%d", n), float64(rep.Cycles)/float64(base))
+		}
+	}
+	tab.AddGeoMeanRow()
+	return tab, nil
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

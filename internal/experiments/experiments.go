@@ -1,0 +1,419 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6-§7): one function per figure/table, each returning the
+// same rows and series the paper plots. The per-experiment index lives in
+// DESIGN.md §4; measured-vs-paper numbers are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/logging"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options sizes the experiment runs.
+type Options struct {
+	// Threads is the worker-thread/core count (the paper uses 4).
+	Threads int
+	// SimScale divides the Table 2 timed-operation counts; 1 reproduces
+	// the paper's counts, larger values shrink runs shape-preservingly.
+	SimScale int
+	// InitScale divides the Table 2 initialization counts. Keep it small
+	// (1-2): the initialization sets the memory footprint, and the
+	// schemes' relative behaviour depends on realistic miss rates.
+	InitScale int
+	Seed      int64
+}
+
+// Default returns the options the benchmark harness uses: full footprint,
+// 1/25th of the timed operations.
+func Default() Options {
+	return Options{Threads: 4, SimScale: 25, InitScale: 1, Seed: 42}
+}
+
+// Quick returns small options for tests (distorted magnitudes, same
+// plumbing).
+func Quick() Options {
+	return Options{Threads: 2, SimScale: 400, InitScale: 25, Seed: 42}
+}
+
+func (o Options) params(k workload.Kind) workload.Params {
+	p := k.DefaultParams(1)
+	p.Threads = o.Threads
+	p.Seed = o.Seed
+	if o.SimScale > 1 {
+		p.SimOps /= o.SimScale
+	}
+	if o.InitScale > 1 {
+		p.InitOps /= o.InitScale
+		p.SSItems /= o.InitScale
+	}
+	if p.SimOps < 8 {
+		p.SimOps = 8
+	}
+	if p.InitOps < 16 {
+		p.InitOps = 16
+	}
+	if p.SSItems < 64 {
+		p.SSItems = 64
+	}
+	return p
+}
+
+// runner caches built workloads so the schemes share one recording.
+type runner struct {
+	opt Options
+	wls map[workload.Kind]*workload.Workload
+}
+
+func newRunner(opt Options) *runner {
+	return &runner{opt: opt, wls: make(map[workload.Kind]*workload.Workload)}
+}
+
+func (r *runner) workload(k workload.Kind) (*workload.Workload, error) {
+	if w, ok := r.wls[k]; ok {
+		return w, nil
+	}
+	w, err := workload.Build(k, r.opt.params(k))
+	if err != nil {
+		return nil, err
+	}
+	r.wls[k] = w
+	return w, nil
+}
+
+// run simulates one (benchmark, scheme) pair under cfg.
+func (r *runner) run(k workload.Kind, scheme core.Scheme, cfg config.Config) (*stats.Report, error) {
+	w, err := r.workload(k)
+	if err != nil {
+		return nil, err
+	}
+	traces, err := logging.Generate(w, scheme, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(cfg, scheme, traces, w.InitImage)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := sys.Run(0)
+	if err != nil {
+		return nil, fmt.Errorf("%v/%v: %w", k, scheme, err)
+	}
+	return rep, nil
+}
+
+func benchRows() []string {
+	rows := make([]string, 0, len(workload.Table2))
+	for _, k := range workload.Table2 {
+		rows = append(rows, k.Abbrev())
+	}
+	return rows
+}
+
+// speedupFigure runs the Figure 6/9/10 matrix on the given memory kind:
+// speedup of every scheme over the PMEM software-logging baseline.
+func speedupFigure(opt Options, kind config.MemKind, title string) (*stats.Table, error) {
+	cfg := config.Default().WithMemKind(kind)
+	cfg.Cores = opt.Threads
+	r := newRunner(opt)
+	cols := []string{
+		core.PMEMPcommit.String(), core.ATOM.String(),
+		core.ProteusNoLWR.String(), core.Proteus.String(), core.PMEMNoLog.String(),
+	}
+	tab := stats.NewTable(title, "bench", benchRows(), cols)
+	for _, k := range workload.Table2 {
+		base, err := r.run(k, core.PMEM, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range []core.Scheme{core.PMEMPcommit, core.ATOM, core.ProteusNoLWR, core.Proteus, core.PMEMNoLog} {
+			rep, err := r.run(k, s, cfg)
+			if err != nil {
+				return nil, err
+			}
+			tab.Set(k.Abbrev(), s.String(), rep.Speedup(base))
+		}
+	}
+	tab.AddGeoMeanRow()
+	return tab, nil
+}
+
+// Figure6 reproduces the speedup comparison on (fast) NVMM with software
+// logging with PMEM as baseline.
+func Figure6(opt Options) (*stats.Table, error) {
+	return speedupFigure(opt, config.NVMFast, "Figure 6: speedup on NVMM (baseline: PMEM software logging)")
+}
+
+// Figure9 reproduces the slow-NVMM study (300ns writes, §7.1).
+func Figure9(opt Options) (*stats.Table, error) {
+	return speedupFigure(opt, config.NVMSlow, "Figure 9: speedup on slow NVMM, 300ns writes (baseline: PMEM)")
+}
+
+// Figure10 reproduces the DRAM study (§7.2).
+func Figure10(opt Options) (*stats.Table, error) {
+	return speedupFigure(opt, config.DRAM, "Figure 10: speedup on DRAM (baseline: PMEM)")
+}
+
+// Figure7 reproduces the front-end stall comparison: stall cycles
+// normalized to PMEM+nolog.
+func Figure7(opt Options) (*stats.Table, error) {
+	cfg := config.Default()
+	cfg.Cores = opt.Threads
+	r := newRunner(opt)
+	cols := []string{core.ATOM.String(), core.Proteus.String(), core.PMEMNoLog.String()}
+	tab := stats.NewTable("Figure 7: front-end stall cycles (normalized to PMEM+nolog)", "bench", benchRows(), cols)
+	for _, k := range workload.Table2 {
+		ideal, err := r.run(k, core.PMEMNoLog, cfg)
+		if err != nil {
+			return nil, err
+		}
+		base := float64(ideal.TotalFrontEndStalls())
+		if base == 0 {
+			base = 1
+		}
+		for _, s := range []core.Scheme{core.ATOM, core.Proteus, core.PMEMNoLog} {
+			rep, err := r.run(k, s, cfg)
+			if err != nil {
+				return nil, err
+			}
+			stalls := float64(rep.TotalFrontEndStalls())
+			if stalls < 1 {
+				stalls = 1 // keep the geomean defined when a run never stalls
+			}
+			tab.Set(k.Abbrev(), s.String(), stalls/base)
+		}
+	}
+	tab.AddGeoMeanRow()
+	return tab, nil
+}
+
+// Figure8 reproduces the NVMM write comparison: writes normalized to
+// PMEM+nolog.
+func Figure8(opt Options) (*stats.Table, error) {
+	cfg := config.Default()
+	cfg.Cores = opt.Threads
+	r := newRunner(opt)
+	cols := []string{core.PMEM.String(), core.ATOM.String(), core.Proteus.String(), core.PMEMNoLog.String()}
+	tab := stats.NewTable("Figure 8: NVMM writes (normalized to PMEM+nolog)", "bench", benchRows(), cols)
+	for _, k := range workload.Table2 {
+		ideal, err := r.run(k, core.PMEMNoLog, cfg)
+		if err != nil {
+			return nil, err
+		}
+		base := float64(ideal.MemStat.NVMWrites())
+		if base == 0 {
+			base = 1
+		}
+		for _, s := range []core.Scheme{core.PMEM, core.ATOM, core.Proteus, core.PMEMNoLog} {
+			rep, err := r.run(k, s, cfg)
+			if err != nil {
+				return nil, err
+			}
+			tab.Set(k.Abbrev(), s.String(), float64(rep.MemStat.NVMWrites())/base)
+		}
+	}
+	tab.AddGeoMeanRow()
+	return tab, nil
+}
+
+// LogQSizes is the Figure 11 sweep.
+var LogQSizes = []int{1, 2, 4, 8, 16, 32, 64}
+
+// Figure11 reproduces the LogQ-size sensitivity: Proteus speedup over PMEM
+// for LogQ sizes 1-64.
+func Figure11(opt Options) (*stats.Table, error) {
+	cfg := config.Default()
+	cfg.Cores = opt.Threads
+	r := newRunner(opt)
+	cols := make([]string, 0, len(LogQSizes))
+	for _, n := range LogQSizes {
+		cols = append(cols, fmt.Sprintf("LogQ=%d", n))
+	}
+	tab := stats.NewTable("Figure 11: Proteus speedup vs LogQ size (baseline: PMEM)", "bench", benchRows(), cols)
+	for _, k := range workload.Table2 {
+		base, err := r.run(k, core.PMEM, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range LogQSizes {
+			c := cfg
+			c.Proteus.LogQ = n
+			rep, err := r.run(k, core.Proteus, c)
+			if err != nil {
+				return nil, err
+			}
+			tab.Set(k.Abbrev(), fmt.Sprintf("LogQ=%d", n), rep.Speedup(base))
+		}
+	}
+	tab.AddGeoMeanRow()
+	return tab, nil
+}
+
+// LPQSizes is the Figure 12 sweep (LogQ fixed at 16).
+var LPQSizes = []int{16, 32, 64, 128, 256, 512}
+
+// Figure12 reproduces the LPQ-size sensitivity at LogQ=16.
+func Figure12(opt Options) (*stats.Table, error) {
+	cfg := config.Default()
+	cfg.Cores = opt.Threads
+	r := newRunner(opt)
+	cols := make([]string, 0, len(LPQSizes))
+	for _, n := range LPQSizes {
+		cols = append(cols, fmt.Sprintf("LPQ=%d", n))
+	}
+	tab := stats.NewTable("Figure 12: Proteus speedup vs LPQ size, LogQ=16 (baseline: PMEM)", "bench", benchRows(), cols)
+	for _, k := range workload.Table2 {
+		base, err := r.run(k, core.PMEM, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range LPQSizes {
+			c := cfg
+			c.Mem.LPQ = n
+			rep, err := r.run(k, core.Proteus, c)
+			if err != nil {
+				return nil, err
+			}
+			tab.Set(k.Abbrev(), fmt.Sprintf("LPQ=%d", n), rep.Speedup(base))
+		}
+	}
+	tab.AddGeoMeanRow()
+	return tab, nil
+}
+
+// Table3Sizes is the large-transaction element sweep.
+var Table3Sizes = []int{1024, 2048, 4096, 8192}
+
+// Table3 reproduces the large-transaction study on the linked-list
+// microbenchmark: Proteus and ideal speedups over PMEM, and the log-entry
+// amplification before and after the LLT.
+type Table3Result struct {
+	Speedups *stats.Table
+	// EntriesPerTxn / FlushedPerTxn report logging ops per transaction
+	// before and after LLT filtering for each size (§7.3's 20-156x and
+	// 7-52x factors are relative to the Table 2 benchmarks).
+	EntriesPerTxn map[int]float64
+	FlushedPerTxn map[int]float64
+}
+
+// Table3 runs the sweep.
+func Table3(opt Options) (*Table3Result, error) {
+	cfg := config.Default()
+	cfg.Cores = opt.Threads
+	rows := make([]string, 0, len(Table3Sizes))
+	for _, n := range Table3Sizes {
+		rows = append(rows, fmt.Sprintf("%d", n))
+	}
+	res := &Table3Result{
+		Speedups:      stats.NewTable("Table 3: speedups for large transactions (baseline: PMEM)", "txn size", rows, []string{"Proteus", "PMEM+nolog(ideal)"}),
+		EntriesPerTxn: make(map[int]float64),
+		FlushedPerTxn: make(map[int]float64),
+	}
+	for _, n := range Table3Sizes {
+		p := workload.LinkedList.DefaultParams(1)
+		p.Threads = opt.Threads
+		p.Seed = opt.Seed
+		p.ListElems = n
+		p.SimOps = 192 / opt.Threads
+		if opt.SimScale > 25 {
+			p.SimOps = 64 / opt.Threads
+		}
+		if p.SimOps < 8 {
+			p.SimOps = 8
+		}
+		w, err := workload.Build(workload.LinkedList, p)
+		if err != nil {
+			return nil, err
+		}
+		var base, proteus, ideal *stats.Report
+		for _, s := range []core.Scheme{core.PMEM, core.Proteus, core.PMEMNoLog} {
+			traces, err := logging.Generate(w, s, cfg)
+			if err != nil {
+				return nil, err
+			}
+			sys, err := core.NewSystem(cfg, s, traces, w.InitImage)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := sys.Run(0)
+			if err != nil {
+				return nil, err
+			}
+			switch s {
+			case core.PMEM:
+				base = rep
+			case core.Proteus:
+				proteus = rep
+			case core.PMEMNoLog:
+				ideal = rep
+			}
+		}
+		row := fmt.Sprintf("%d", n)
+		res.Speedups.Set(row, "Proteus", proteus.Speedup(base))
+		res.Speedups.Set(row, "PMEM+nolog(ideal)", ideal.Speedup(base))
+		txns := float64(p.SimOps * opt.Threads)
+		var logLoads, flushes uint64
+		for i := range proteus.CoreStat {
+			logLoads += proteus.CoreStat[i].LogLoads
+			flushes += proteus.CoreStat[i].LogFlushes
+		}
+		res.EntriesPerTxn[n] = float64(logLoads) / txns
+		res.FlushedPerTxn[n] = float64(flushes) / txns
+	}
+	return res, nil
+}
+
+// Table4 reproduces the LLT miss rates (64-entry LLT).
+func Table4(opt Options) (*stats.Table, error) {
+	cfg := config.Default()
+	cfg.Cores = opt.Threads
+	r := newRunner(opt)
+	tab := stats.NewTable("Table 4: LLT miss rate (%), 64-entry 8-way LLT", "bench", benchRows(), []string{"miss rate"})
+	tab.Format = "%8.1f"
+	for _, k := range workload.Table2 {
+		rep, err := r.run(k, core.Proteus, cfg)
+		if err != nil {
+			return nil, err
+		}
+		tab.Set(k.Abbrev(), "miss rate", rep.LLTMissRate())
+	}
+	return tab, nil
+}
+
+// LogQMemoryDelta reproduces the §7.2 observation: the speedup gained by
+// growing the LogQ from 8 to 16 entries on NVM vs on DRAM.
+func LogQMemoryDelta(opt Options) (nvmDelta, dramDelta float64, err error) {
+	for i, kind := range []config.MemKind{config.NVMFast, config.DRAM} {
+		cfg := config.Default().WithMemKind(kind)
+		cfg.Cores = opt.Threads
+		r := newRunner(opt)
+		var sp [2]float64 // LogQ 8, 16 geomean speedups
+		for j, n := range []int{8, 16} {
+			var speedups []float64
+			for _, k := range workload.Table2 {
+				base, err := r.run(k, core.PMEM, cfg)
+				if err != nil {
+					return 0, 0, err
+				}
+				c := cfg
+				c.Proteus.LogQ = n
+				rep, err := r.run(k, core.Proteus, c)
+				if err != nil {
+					return 0, 0, err
+				}
+				speedups = append(speedups, rep.Speedup(base))
+			}
+			sp[j] = stats.GeoMean(speedups)
+		}
+		if i == 0 {
+			nvmDelta = sp[1] - sp[0]
+		} else {
+			dramDelta = sp[1] - sp[0]
+		}
+	}
+	return nvmDelta, dramDelta, nil
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// quick runs every experiment at the smallest scale to validate plumbing;
+// magnitudes at this scale are distorted, so only structural properties
+// and weak ordering relations are asserted.
+func TestFigure6Quick(t *testing.T) {
+	tab, err := Figure6(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	if len(tab.Rows) != len(workload.Table2)+1 { // + geomean
+		t.Fatalf("rows: %v", tab.Rows)
+	}
+	for _, k := range workload.Table2 {
+		pc := tab.Get(k.Abbrev(), "PMEM+pcommit")
+		ideal := tab.Get(k.Abbrev(), "PMEM+nolog")
+		proteus := tab.Get(k.Abbrev(), "Proteus")
+		if pc >= 1 {
+			t.Errorf("%v: pcommit speedup %.2f not below 1", k, pc)
+		}
+		if ideal < 1 {
+			t.Errorf("%v: ideal speedup %.2f below 1", k, ideal)
+		}
+		if proteus <= pc {
+			t.Errorf("%v: Proteus (%.2f) not above pcommit (%.2f)", k, proteus, pc)
+		}
+	}
+}
+
+func TestFigure8Quick(t *testing.T) {
+	tab, err := Figure8(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	for _, k := range workload.Table2 {
+		atom := tab.Get(k.Abbrev(), "ATOM")
+		proteus := tab.Get(k.Abbrev(), "Proteus")
+		if atom <= proteus {
+			t.Errorf("%v: ATOM writes (%.2fx) not above Proteus (%.2fx)", k, atom, proteus)
+		}
+		if proteus > 1.6 {
+			t.Errorf("%v: Proteus write amplification %.2fx too high", k, proteus)
+		}
+		if got := tab.Get(k.Abbrev(), "PMEM+nolog"); got != 1 {
+			t.Errorf("%v: nolog not normalized to 1 (%.3f)", k, got)
+		}
+	}
+}
+
+func TestTable4Quick(t *testing.T) {
+	tab, err := Table4(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	for _, k := range workload.Table2 {
+		r := tab.Get(k.Abbrev(), "miss rate")
+		if r <= 0 || r > 100 {
+			t.Errorf("%v: miss rate %.1f out of range", k, r)
+		}
+	}
+}
+
+func TestFigure11Quick(t *testing.T) {
+	opt := Quick()
+	tab, err := Figure11(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	// Speedup must not degrade drastically as the LogQ grows.
+	for _, k := range workload.Table2 {
+		small := tab.Get(k.Abbrev(), "LogQ=1")
+		large := tab.Get(k.Abbrev(), "LogQ=64")
+		if large < small*0.9 {
+			t.Errorf("%v: LogQ=64 (%.2f) much worse than LogQ=1 (%.2f)", k, large, small)
+		}
+	}
+}
+
+func TestTable3Quick(t *testing.T) {
+	opt := Quick()
+	res, err := Table3(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Speedups)
+	for _, n := range Table3Sizes {
+		if res.EntriesPerTxn[n] < float64(n)/8 {
+			t.Errorf("size %d: only %.0f log ops per txn", n, res.EntriesPerTxn[n])
+		}
+		if res.FlushedPerTxn[n] >= res.EntriesPerTxn[n] {
+			t.Errorf("size %d: LLT filtered nothing (%.0f of %.0f)", n, res.FlushedPerTxn[n], res.EntriesPerTxn[n])
+		}
+	}
+}
+
+func TestAblationsQuick(t *testing.T) {
+	opt := Quick()
+	pm, err := PersistencyModels(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", pm)
+	if g := pm.Get("geomean", "strict"); g < 1.0 {
+		t.Errorf("strict persistency geomean slowdown %.2f below 1", g)
+	}
+	if g := pm.Get("geomean", "epoch"); g != 1.0 {
+		t.Errorf("epoch model differs from durable-tx: %.3f", g)
+	}
+
+	se, err := StaticVsDynamicFiltering(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", se)
+	if r := se.Get("geomean", "logops-emitted-ratio"); r >= 1 {
+		t.Errorf("static elimination emitted ratio %.2f not below 1", r)
+	}
+
+	llt, err := LLTSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", llt)
+	// A larger LLT cannot have a (much) higher miss rate.
+	for _, k := range workload.Table2 {
+		small := llt.Get(k.Abbrev(), "LLT=8")
+		big := llt.Get(k.Abbrev(), "LLT=256")
+		if big > small+1 {
+			t.Errorf("%v: LLT=256 miss rate %.1f above LLT=8 %.1f", k, big, small)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package isa
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Trace serialization: a compact binary format so expanded traces can be
+// saved once and replayed across many machine configurations (the
+// workload build and code generation dominate setup time for large runs).
+//
+// Layout: magic, version, thread, op count, then ops as fixed 22-byte
+// records (kind, size, tx, addr, val), all little endian.
+
+const (
+	traceMagic   = 0x50524F54 // "PROT"
+	traceVersion = 1
+)
+
+// WriteTo serializes the trace.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], traceMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], traceVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(t.Thread))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(t.Ops)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	n := int64(len(hdr))
+	var rec [22]byte
+	for _, op := range t.Ops {
+		rec[0] = byte(op.Kind)
+		rec[1] = op.Size
+		binary.LittleEndian.PutUint32(rec[2:], op.Tx)
+		binary.LittleEndian.PutUint64(rec[6:], op.Addr)
+		binary.LittleEndian.PutUint64(rec[14:], op.Val)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return n, err
+		}
+		n += int64(len(rec))
+	}
+	return n, bw.Flush()
+}
+
+// ReadTrace deserializes a trace written by WriteTo.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("isa: trace header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != traceMagic {
+		return nil, fmt.Errorf("isa: not a trace file (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != traceVersion {
+		return nil, fmt.Errorf("isa: unsupported trace version %d", v)
+	}
+	t := &Trace{Thread: int(binary.LittleEndian.Uint32(hdr[8:]))}
+	count := binary.LittleEndian.Uint32(hdr[12:])
+	t.Ops = make([]Op, 0, count)
+	var rec [22]byte
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("isa: trace op %d: %w", i, err)
+		}
+		t.Ops = append(t.Ops, Op{
+			Kind: Kind(rec[0]),
+			Size: rec[1],
+			Tx:   binary.LittleEndian.Uint32(rec[2:]),
+			Addr: binary.LittleEndian.Uint64(rec[6:]),
+			Val:  binary.LittleEndian.Uint64(rec[14:]),
+		})
+	}
+	return t, nil
+}

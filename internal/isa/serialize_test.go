@@ -1,0 +1,81 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceRoundtrip(t *testing.T) {
+	tr := &Trace{Thread: 3}
+	tr.Append(Op{Kind: TxBegin, Tx: 1})
+	tr.Append(Op{Kind: LogLoad, Size: 32, Tx: 1, Addr: HeapBase})
+	tr.Append(Op{Kind: LogFlush, Size: 32, Tx: 1, Addr: HeapBase})
+	tr.Append(Op{Kind: St, Size: 8, Tx: 1, Addr: HeapBase + 8, Val: 0xDEADBEEF})
+	tr.Append(Op{Kind: TxEnd, Tx: 1})
+
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Thread != tr.Thread || len(got.Ops) != len(tr.Ops) {
+		t.Fatalf("shape: thread %d ops %d", got.Thread, len(got.Ops))
+	}
+	for i := range tr.Ops {
+		if got.Ops[i] != tr.Ops[i] {
+			t.Fatalf("op %d: %v != %v", i, got.Ops[i], tr.Ops[i])
+		}
+	}
+}
+
+func TestTraceRoundtripQuick(t *testing.T) {
+	prop := func(kinds []uint8, addrs []uint64, vals []uint64) bool {
+		tr := &Trace{Thread: 1}
+		n := len(kinds)
+		if n > len(addrs) {
+			n = len(addrs)
+		}
+		if n > len(vals) {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			tr.Append(Op{Kind: Kind(kinds[i] % 14), Size: 8, Tx: uint32(i), Addr: addrs[i], Val: vals[i]})
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil || len(got.Ops) != n {
+			return false
+		}
+		for i := range got.Ops {
+			if got.Ops[i] != tr.Ops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("not a trace file at all"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncated op stream.
+	tr := &Trace{}
+	tr.Append(Op{Kind: St, Size: 8, Addr: 1, Val: 2})
+	var buf bytes.Buffer
+	tr.WriteTo(&buf)
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadTrace(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}

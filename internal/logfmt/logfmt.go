@@ -1,0 +1,156 @@
+// Package logfmt defines the on-NVM undo-log entry encodings shared by
+// the timing layer (which creates entries), the code generators (software
+// logging writes entries with plain stores), and recovery (which parses
+// crash images).
+//
+// Three formats exist:
+//
+//   - Proteus entries (§4.1): one 64-byte line holding 32 bytes of data
+//     plus metadata (log-from address, transaction ID, flags). The commit
+//     mark lives in the flags of a transaction's last entry (§4.3).
+//   - ATOM entries: a 64-byte metadata line (valid word, log-from address,
+//     transaction ID) followed by a 64-byte data line. Truncation zeroes
+//     the metadata line.
+//   - Software (PMEM) entries: the same two-line layout as ATOM, written
+//     by plain stores; validity is governed by the per-thread logFlag
+//     protocol of Figure 2 rather than per-entry valid words.
+package logfmt
+
+import (
+	"encoding/binary"
+
+	"repro/internal/isa"
+)
+
+// Proteus entry layout within one 64-byte line.
+const (
+	ProteusEntrySize = isa.LineSize
+	proteusDataOff   = 0  // 32 bytes of logged data
+	proteusFromOff   = 32 // 8-byte log-from address
+	proteusTxOff     = 40 // 4-byte transaction ID
+	proteusFlagOff   = 44 // 1-byte flags
+	proteusSeqOff    = 48 // 8-byte program-order sequence number
+	// The sequence number materializes the §4.2 invariant that log-to
+	// addresses are assigned in program order: recovery uses it to apply
+	// entries newest-first so the earliest entry per address wins.
+	// ProteusFlagLast marks the last entry of a transaction; its presence
+	// in a durable entry means the transaction committed.
+	ProteusFlagLast = 0x1
+	// ProteusFlagValid is set on every entry so recovery can distinguish
+	// entries from never-written log area.
+	ProteusFlagValid = 0x2
+)
+
+// ProteusEntry is a decoded Proteus log entry.
+type ProteusEntry struct {
+	Data [isa.LogBlockSize]byte
+	From uint64
+	Tx   uint32
+	Seq  uint64
+	Last bool
+}
+
+// EncodeProteus writes the entry into a 64-byte line image.
+func EncodeProteus(e ProteusEntry) [isa.LineSize]byte {
+	var line [isa.LineSize]byte
+	copy(line[proteusDataOff:], e.Data[:])
+	binary.LittleEndian.PutUint64(line[proteusFromOff:], e.From)
+	binary.LittleEndian.PutUint32(line[proteusTxOff:], e.Tx)
+	binary.LittleEndian.PutUint64(line[proteusSeqOff:], e.Seq)
+	flags := byte(ProteusFlagValid)
+	if e.Last {
+		flags |= ProteusFlagLast
+	}
+	line[proteusFlagOff] = flags
+	return line
+}
+
+// DecodeProteus parses a 64-byte line; ok is false when the line holds no
+// valid entry.
+func DecodeProteus(line []byte) (ProteusEntry, bool) {
+	var e ProteusEntry
+	if len(line) < isa.LineSize || line[proteusFlagOff]&ProteusFlagValid == 0 {
+		return e, false
+	}
+	copy(e.Data[:], line[proteusDataOff:proteusDataOff+isa.LogBlockSize])
+	e.From = binary.LittleEndian.Uint64(line[proteusFromOff:])
+	e.Tx = binary.LittleEndian.Uint32(line[proteusTxOff:])
+	e.Seq = binary.LittleEndian.Uint64(line[proteusSeqOff:])
+	e.Last = line[proteusFlagOff]&ProteusFlagLast != 0
+	return e, true
+}
+
+// SetProteusLast sets the commit mark on an encoded entry in place.
+func SetProteusLast(line *[isa.LineSize]byte) {
+	line[proteusFlagOff] |= ProteusFlagLast
+}
+
+// Two-line (meta + data) entry layout used by ATOM and software logging.
+const (
+	PairEntrySize = 2 * isa.LineSize
+	pairValidOff  = 0  // 8-byte valid word (nonzero = valid)
+	pairFromOff   = 8  // 8-byte log-from address
+	pairTxOff     = 16 // 8-byte transaction ID
+	pairLenOff    = 24 // 8-byte logged length (<= 64)
+	// PairValidMagic distinguishes a written entry from zeroed area.
+	PairValidMagic = 0xA70A70A7
+)
+
+// PairEntry is a decoded two-line log entry.
+type PairEntry struct {
+	From uint64
+	Tx   uint64
+	Len  uint64
+	Data [isa.LineSize]byte
+}
+
+// EncodePairMeta builds the metadata line.
+func EncodePairMeta(e PairEntry) [isa.LineSize]byte {
+	var line [isa.LineSize]byte
+	binary.LittleEndian.PutUint64(line[pairValidOff:], PairValidMagic)
+	binary.LittleEndian.PutUint64(line[pairFromOff:], e.From)
+	binary.LittleEndian.PutUint64(line[pairTxOff:], e.Tx)
+	binary.LittleEndian.PutUint64(line[pairLenOff:], e.Len)
+	return line
+}
+
+// DecodePairMeta parses a metadata line; ok is false when invalid.
+func DecodePairMeta(line []byte) (PairEntry, bool) {
+	var e PairEntry
+	if len(line) < isa.LineSize || binary.LittleEndian.Uint64(line[pairValidOff:]) != PairValidMagic {
+		return e, false
+	}
+	e.From = binary.LittleEndian.Uint64(line[pairFromOff:])
+	e.Tx = binary.LittleEndian.Uint64(line[pairTxOff:])
+	e.Len = binary.LittleEndian.Uint64(line[pairLenOff:])
+	return e, true
+}
+
+// LogFlagAddr returns the address of a thread's persistent logFlag word
+// for the software-logging protocol (Figure 2). The word packs the
+// in-flight transaction ID and its undo-entry count so both persist
+// atomically (8-byte persist atomicity is the standard NVM assumption);
+// zero means no transaction is in flight.
+func LogFlagAddr(thread int) uint64 {
+	base, _ := isa.HeapWindow(thread)
+	return base
+}
+
+// PackLogFlag builds the logFlag word from a transaction ID and its entry
+// count.
+func PackLogFlag(tx uint32, entries int) uint64 {
+	return uint64(tx)<<32 | uint64(uint32(entries))
+}
+
+// UnpackLogFlag splits a logFlag word.
+func UnpackLogFlag(w uint64) (tx uint32, entries int) {
+	return uint32(w >> 32), int(uint32(w))
+}
+
+// SWLogBase returns where software logging places its first entry in the
+// thread's log area (entries are rewritten from the base each
+// transaction).
+func SWLogBase(thread int) uint64 {
+	base, _ := isa.LogWindow(thread)
+	return base
+}

@@ -1,0 +1,83 @@
+package logfmt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestProteusRoundtrip(t *testing.T) {
+	prop := func(data [isa.LogBlockSize]byte, from uint64, tx uint32, seq uint64, last bool) bool {
+		e := ProteusEntry{Data: data, From: from, Tx: tx, Seq: seq, Last: last}
+		line := EncodeProteus(e)
+		d, ok := DecodeProteus(line[:])
+		return ok && d == e
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProteusInvalidLine(t *testing.T) {
+	var zero [isa.LineSize]byte
+	if _, ok := DecodeProteus(zero[:]); ok {
+		t.Fatal("zero line decoded as valid entry")
+	}
+	if _, ok := DecodeProteus(nil); ok {
+		t.Fatal("nil decoded as valid entry")
+	}
+}
+
+func TestSetProteusLast(t *testing.T) {
+	line := EncodeProteus(ProteusEntry{From: 0x40, Tx: 3})
+	SetProteusLast(&line)
+	e, ok := DecodeProteus(line[:])
+	if !ok || !e.Last {
+		t.Fatalf("mark not set: ok=%v last=%v", ok, e.Last)
+	}
+}
+
+func TestPairRoundtrip(t *testing.T) {
+	prop := func(from, tx uint64, ln uint8) bool {
+		e := PairEntry{From: from, Tx: tx, Len: uint64(ln)}
+		line := EncodePairMeta(e)
+		d, ok := DecodePairMeta(line[:])
+		return ok && d.From == from && d.Tx == tx && d.Len == uint64(ln)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairInvalid(t *testing.T) {
+	var zero [isa.LineSize]byte
+	if _, ok := DecodePairMeta(zero[:]); ok {
+		t.Fatal("zero meta decoded as valid")
+	}
+}
+
+func TestLogFlagPacking(t *testing.T) {
+	prop := func(tx uint32, n uint16) bool {
+		w := PackLogFlag(tx, int(n))
+		gt, gn := UnpackLogFlag(w)
+		return gt == tx && gn == int(n)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+	if PackLogFlag(0, 0) != 0 {
+		t.Fatal("empty flag must be zero (the no-transaction state)")
+	}
+}
+
+func TestRegionHelpers(t *testing.T) {
+	for thread := 0; thread < 4; thread++ {
+		if !isa.IsPersistentAddr(LogFlagAddr(thread)) {
+			t.Fatalf("logFlag of %d not persistent", thread)
+		}
+		if !isa.IsLogAddr(SWLogBase(thread)) {
+			t.Fatalf("sw log base of %d not in log region", thread)
+		}
+	}
+}

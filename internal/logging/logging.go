@@ -1,0 +1,299 @@
+// Package logging turns recorded workload transactions into per-scheme
+// micro-op traces:
+//
+//   - PMEM: software undo logging with clwb/sfence exactly following
+//     Figure 2's four steps (log + persist, set logFlag, update data +
+//     persist, clear logFlag), optionally with pcommit after every sfence
+//     (the PMEM+pcommit baseline).
+//   - PMEM+nolog: data updates and their persists only (the ideal case).
+//   - ATOM: plain transactional stores — logging happens in hardware.
+//   - Proteus: every store expanded into log-load, log-flush, store
+//     (Figure 4); the LLT filters repeats at run time.
+package logging
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/isa"
+	"repro/internal/logfmt"
+	"repro/internal/nvm"
+	"repro/internal/workload"
+)
+
+// Generate expands every thread's recorded transactions into a trace for
+// the given scheme, using the default options (the paper's configuration:
+// durable-transaction persistency, dynamic LLT filtering).
+func Generate(w *workload.Workload, scheme core.Scheme, cfg config.Config) ([]*isa.Trace, error) {
+	return GenerateOpts(w, scheme, cfg, Options{})
+}
+
+// gen carries per-thread generation state.
+type gen struct {
+	tr      *isa.Trace
+	alu     uint64
+	aluTxn  uint64
+	scheme  core.Scheme
+	opts    Options
+	thread  int
+	img     *nvm.Store        // functional image after initialization
+	overlay map[uint64]uint64 // word-level committed state on top of img
+	swLog   uint64            // software log area base
+	logFlag uint64
+}
+
+func generateThreadOpts(h *heap.Heap, scheme core.Scheme, cfg config.Config, img *nvm.Store, opts Options) (*isa.Trace, error) {
+	g := &gen{
+		tr:      &isa.Trace{},
+		alu:     uint64(cfg.Core.AluPerMem),
+		aluTxn:  uint64(cfg.Core.AluPerTxn),
+		scheme:  scheme,
+		opts:    opts,
+		thread:  h.Thread(),
+		img:     img,
+		overlay: make(map[uint64]uint64),
+		swLog:   logfmt.SWLogBase(h.Thread()),
+		logFlag: logfmt.LogFlagAddr(h.Thread()),
+	}
+	for _, txn := range h.Txns {
+		if err := g.emitTxn(txn); err != nil {
+			return nil, err
+		}
+		// The transaction is committed; fold its writes into the
+		// committed state used for later pre-images.
+		for a, v := range txn.Post {
+			g.overlay[a] = v
+		}
+	}
+	return g.tr, nil
+}
+
+// preWord returns the committed (pre-transaction) value of a word.
+func (g *gen) preWord(addr uint64) uint64 {
+	if v, ok := g.overlay[addr]; ok {
+		return v
+	}
+	return g.img.ReadUint64(addr)
+}
+
+// preWordIn returns the pre-image of a word inside the current
+// transaction, preferring the transaction's own recorded pre-image (the
+// word may have been written).
+func preWordIn(t *heap.Txn, g *gen, addr uint64) uint64 {
+	if v, ok := t.Pre[addr]; ok {
+		return v
+	}
+	return g.preWord(addr)
+}
+
+func (g *gen) op(o isa.Op) { g.tr.Append(o) }
+
+func (g *gen) aluPad() {
+	if g.alu > 0 {
+		g.op(isa.Op{Kind: isa.Alu, Val: g.alu})
+	}
+}
+
+func (g *gen) load(tx uint32, addr uint64) {
+	g.aluPad()
+	g.op(isa.Op{Kind: isa.Ld, Size: 8, Tx: tx, Addr: addr})
+}
+
+func (g *gen) store(tx uint32, addr, val uint64) {
+	g.aluPad()
+	g.op(isa.Op{Kind: isa.St, Size: 8, Tx: tx, Addr: addr, Val: val})
+}
+
+// storeRaw emits a store without ALU padding (log-copy loops).
+func (g *gen) storeRaw(tx uint32, addr, val uint64) {
+	g.op(isa.Op{Kind: isa.St, Size: 8, Tx: tx, Addr: addr, Val: val})
+}
+
+func (g *gen) clwb(addr uint64) { g.op(isa.Op{Kind: isa.Clwb, Addr: addr}) }
+
+func (g *gen) sfence() {
+	g.op(isa.Op{Kind: isa.Sfence})
+	if g.scheme == core.PMEMPcommit {
+		g.op(isa.Op{Kind: isa.Pcommit})
+	}
+}
+
+func (g *gen) emitTxn(t *heap.Txn) error {
+	// Fixed per-operation harness work (input parsing, call overhead),
+	// identical across schemes.
+	if g.aluTxn > 0 {
+		g.op(isa.Op{Kind: isa.Alu, Val: g.aluTxn})
+	}
+	g.op(isa.Op{Kind: isa.LockAcq, Size: 8, Addr: t.Lock})
+	switch g.scheme {
+	case core.PMEM, core.PMEMPcommit:
+		g.emitSWLogging(t)
+	case core.PMEMNoLog:
+		g.emitNoLog(t)
+	case core.ATOM:
+		g.emitHW(t)
+	case core.Proteus, core.ProteusNoLWR:
+		g.emitProteus(t)
+	default:
+		return fmt.Errorf("unknown scheme %v", g.scheme)
+	}
+	g.op(isa.Op{Kind: isa.LockRel, Size: 8, Addr: t.Lock})
+	return nil
+}
+
+// hintLines returns the deduplicated 64-byte lines of the transaction's
+// conservative undo set, in first-declaration order.
+func hintLines(t *heap.Txn) []uint64 {
+	seen := make(map[uint64]struct{})
+	var lines []uint64
+	for _, r := range t.Hints {
+		for a := isa.LineAddr(r.Addr); a < r.Addr+uint64(r.Size); a += isa.LineSize {
+			if _, ok := seen[a]; !ok {
+				seen[a] = struct{}{}
+				lines = append(lines, a)
+			}
+		}
+	}
+	return lines
+}
+
+// emitSWLogging generates Figure 2's fail-safe undo logging.
+func (g *gen) emitSWLogging(t *heap.Txn) {
+	tx := t.ID
+	g.op(isa.Op{Kind: isa.TxBegin, Tx: tx})
+
+	// Step 1: create and persist the undo log. One two-line entry per
+	// conservatively-hinted 64-byte line: read the original data, store
+	// the metadata and data words, flush both lines.
+	lines := hintLines(t)
+	for i, line := range lines {
+		meta := logfmt.EncodePairMeta(logfmt.PairEntry{From: line, Tx: uint64(tx), Len: isa.LineSize})
+		metaAddr := g.swLog + uint64(i)*logfmt.PairEntrySize
+		dataAddr := metaAddr + isa.LineSize
+		// Read the original line (8 words) and write it to the log.
+		for w := 0; w < 8; w++ {
+			g.load(tx, line+uint64(w*8))
+		}
+		for w := 0; w < 4; w++ {
+			g.storeRaw(tx, metaAddr+uint64(w*8), wordOf(meta[:], w))
+		}
+		for w := 0; w < 8; w++ {
+			g.storeRaw(tx, dataAddr+uint64(w*8), preWordIn(t, g, line+uint64(w*8)))
+		}
+		g.clwb(metaAddr)
+		g.clwb(dataAddr)
+		if g.opts.Model == ModelStrict {
+			g.sfence()
+		}
+	}
+	g.sfence()
+
+	// Step 2: set the logFlag and persist. The transaction ID and entry
+	// count share one 8-byte word so they persist atomically.
+	g.store(tx, g.logFlag, logfmt.PackLogFlag(tx, len(lines)))
+	g.clwb(g.logFlag)
+	g.sfence()
+
+	// Step 3: the data updates, then persist every written line (under
+	// strict persistency each store already persisted individually).
+	g.emitBody(t)
+	if g.opts.Model != ModelStrict {
+		for _, line := range t.WriteLines() {
+			g.clwb(line)
+		}
+	}
+	g.sfence()
+
+	// Step 4: clear the logFlag and persist.
+	g.store(tx, g.logFlag, 0)
+	g.clwb(g.logFlag)
+	g.sfence()
+
+	g.op(isa.Op{Kind: isa.TxEnd, Tx: tx})
+}
+
+// emitNoLog generates the ideal case: data updates and their persists,
+// with no logging at all (not failure safe).
+func (g *gen) emitNoLog(t *heap.Txn) {
+	g.op(isa.Op{Kind: isa.TxBegin, Tx: t.ID})
+	g.emitBody(t)
+	for _, line := range t.WriteLines() {
+		g.clwb(line)
+	}
+	g.sfence()
+	g.op(isa.Op{Kind: isa.TxEnd, Tx: t.ID})
+}
+
+// emitHW generates the ATOM form: plain transactional loads and stores;
+// the hardware logs and makes the transaction durable at tx-end.
+func (g *gen) emitHW(t *heap.Txn) {
+	g.op(isa.Op{Kind: isa.TxBegin, Tx: t.ID})
+	g.emitBody(t)
+	g.op(isa.Op{Kind: isa.TxEnd, Tx: t.ID})
+}
+
+// emitProteus generates the Figure 4 expansion: each store becomes
+// log-load, log-flush, store. The LLT filters duplicates dynamically —
+// unless StaticLogElim emulates a perfect-alias-knowledge compiler that
+// never emits the duplicate pairs in the first place (§4.2).
+func (g *gen) emitProteus(t *heap.Txn) {
+	tx := t.ID
+	g.op(isa.Op{Kind: isa.TxBegin, Tx: tx})
+	var logged map[uint64]struct{}
+	if g.opts.StaticLogElim {
+		logged = make(map[uint64]struct{})
+	}
+	for _, a := range t.Ops {
+		switch a.Kind {
+		case heap.Load:
+			g.load(tx, a.Addr)
+		case heap.Store:
+			block := isa.LogBlockAddr(a.Addr)
+			emit := true
+			if logged != nil {
+				if _, seen := logged[block]; seen {
+					emit = false
+				} else {
+					logged[block] = struct{}{}
+				}
+			}
+			if emit {
+				g.op(isa.Op{Kind: isa.LogLoad, Size: isa.LogBlockSize, Tx: tx, Addr: block})
+				g.op(isa.Op{Kind: isa.LogFlush, Size: isa.LogBlockSize, Tx: tx, Addr: block})
+			}
+			g.store(tx, a.Addr, a.Val)
+		}
+	}
+	g.op(isa.Op{Kind: isa.TxEnd, Tx: tx})
+}
+
+// emitBody replays the transaction's recorded accesses. Under strict
+// persistency every persistent store is individually persisted before the
+// next instruction (§2.1's first column).
+func (g *gen) emitBody(t *heap.Txn) {
+	strict := g.opts.Model == ModelStrict &&
+		(g.scheme == core.PMEM || g.scheme == core.PMEMPcommit)
+	for _, a := range t.Ops {
+		switch a.Kind {
+		case heap.Load:
+			g.load(t.ID, a.Addr)
+		case heap.Store:
+			g.store(t.ID, a.Addr, a.Val)
+			if strict && isa.IsPersistentAddr(a.Addr) {
+				g.clwb(a.Addr)
+				g.sfence()
+			}
+		}
+	}
+}
+
+// wordOf extracts little-endian word w from a byte slice.
+func wordOf(b []byte, w int) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[w*8+i])
+	}
+	return v
+}

@@ -1,0 +1,559 @@
+// Package memctrl models the memory controller: the read queue, the write
+// pending queue (WPQ), and — for Proteus — the log pending queue (LPQ) of
+// §4.3. With ADR, the WPQ and LPQ are inside the persistency domain:
+// writes are durable on acceptance, which both lets log flushes complete
+// early and enables Proteus's log write removal (log entries that are
+// still in the LPQ when their transaction ends are flash-cleared and never
+// written to NVMM).
+package memctrl
+
+import (
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/logfmt"
+	"repro/internal/nvm"
+	"repro/internal/stats"
+)
+
+// wpqEntry is one pending line write.
+type wpqEntry struct {
+	seq     uint64
+	issueAt uint64
+	addr    uint64 // line-aligned
+	data    [isa.LineSize]byte
+	cause   stats.WriteCause
+	arrived uint64
+	issued  bool
+	doneAt  uint64
+	// log bookkeeping for ATOM truncation: a log-creation write that is
+	// cancelled before draining costs no NVM write.
+	atomTx   uint32
+	atomCore int
+}
+
+// LogEntry is one Proteus log-flush as it exists in the LPQ: the full
+// 64-byte log line (32B data + metadata) plus the routing information the
+// flash-clear needs (§4.3: "The LPQ contains log entries, where each entry
+// contains the transaction ID, core ID, and various information about the
+// log").
+type LogEntry struct {
+	Core  int
+	Tx    uint32
+	LogTo uint64 // line-aligned address in the thread's log area
+	Data  [isa.LineSize]byte
+	Last  bool // carries the transaction-end mark (§4.3)
+}
+
+// Controller is the memory controller plus its attached device.
+type Controller struct {
+	cfg   config.Mem
+	dev   *nvm.Device
+	store *nvm.Store
+	st    *stats.Mem
+
+	wpq       []wpqEntry
+	lpq       []LogEntry
+	reads     []uint64 // completion cycles of outstanding reads
+	seq       uint64   // monotonically increasing write-acceptance sequence
+	forceAll  int      // count of pcommit waiters forcing full drain
+	drainHi   int
+	maxWPQAge uint64
+}
+
+// New returns a controller draining into dev/store.
+func New(cfg config.Mem, dev *nvm.Device, store *nvm.Store, st *stats.Mem) *Controller {
+	return &Controller{
+		cfg: cfg, dev: dev, store: store, st: st,
+		drainHi:   8,
+		maxWPQAge: 48,
+	}
+}
+
+// Device returns the attached device (for endurance accounting).
+func (c *Controller) Device() *nvm.Device { return c.dev }
+
+// Store returns the functional NVM contents.
+func (c *Controller) Store() *nvm.Store { return c.store }
+
+// ---------------------------------------------------------------- reads
+
+// ReadLine services a 64-byte read arriving at the controller at cycle
+// now. It returns the completion cycle (at the controller; the caller adds
+// return transit) and the line data. ok is false when the read queue is
+// full and the request must be retried.
+//
+// Reads check the WPQ for a pending write to the same line (§4.3) and are
+// serviced from it with no device access; they do not check the LPQ.
+func (c *Controller) ReadLine(now uint64, addr uint64) (done uint64, data [isa.LineSize]byte, ok bool) {
+	addr = isa.LineAddr(addr)
+	for i := range c.wpq {
+		if c.wpq[i].addr == addr {
+			// WPQ forwarding: a short fixed lookup cost.
+			if c.st != nil {
+				c.st.WPQForwards++
+			}
+			return now + 4, c.wpq[i].data, true
+		}
+	}
+	if len(c.reads) >= c.cfg.ReadQ {
+		if c.st != nil {
+			c.st.ReadQFullStall++
+		}
+		return 0, data, false
+	}
+	done = c.dev.Access(now, addr, false, stats.WriteData)
+	if c.st != nil {
+		c.st.ReadLatency += done - now
+		c.st.ReadsServed++
+	}
+	c.reads = append(c.reads, done)
+	c.store.ReadInto(addr, data[:])
+	return done, data, true
+}
+
+// PeekLine reads a line functionally (no timing, no queue effects),
+// merging any pending WPQ write. Used for pre-image capture by hardware
+// log creation.
+func (c *Controller) PeekLine(addr uint64) (uint64, [isa.LineSize]byte, bool) {
+	addr = isa.LineAddr(addr)
+	var data [isa.LineSize]byte
+	for i := range c.wpq {
+		if c.wpq[i].addr == addr {
+			return 0, c.wpq[i].data, true
+		}
+	}
+	c.store.ReadInto(addr, data[:])
+	return 0, data, true
+}
+
+// --------------------------------------------------------------- writes
+
+// WriteLine offers a 64-byte write to the WPQ at cycle now. It returns
+// false when the WPQ is full (the caller retries, modeling backpressure
+// into the cache hierarchy). Writes to a line already pending coalesce
+// into the existing entry.
+func (c *Controller) WriteLine(now uint64, addr uint64, data [isa.LineSize]byte, cause stats.WriteCause) bool {
+	addr = isa.LineAddr(addr)
+	for i := range c.wpq {
+		if c.wpq[i].addr == addr && !c.wpq[i].issued {
+			c.wpq[i].data = data
+			if c.st != nil {
+				c.st.WPQCoalesced++
+			}
+			return true
+		}
+	}
+	if len(c.wpq) >= c.cfg.WPQ {
+		if c.st != nil {
+			c.st.WPQFullStall++
+		}
+		return false
+	}
+	c.seq++
+	c.wpq = append(c.wpq, wpqEntry{seq: c.seq, addr: addr, data: data, cause: cause, arrived: now})
+	return true
+}
+
+// atomWrite is WriteLine plus ATOM log bookkeeping so truncation can
+// cancel log writes that have not yet drained.
+func (c *Controller) atomWrite(now uint64, addr uint64, data [isa.LineSize]byte, cause stats.WriteCause, core int, tx uint32) bool {
+	addr = isa.LineAddr(addr)
+	if len(c.wpq) >= c.cfg.WPQ {
+		if c.st != nil {
+			c.st.WPQFullStall++
+		}
+		return false
+	}
+	c.seq++
+	c.wpq = append(c.wpq, wpqEntry{seq: c.seq, addr: addr, data: data, cause: cause, arrived: now, atomCore: core + 1, atomTx: tx})
+	return true
+}
+
+// WPQLen returns the number of WPQ entries still pending or in flight.
+func (c *Controller) WPQLen() int { return len(c.wpq) }
+
+// WPQFree returns the number of free WPQ slots.
+func (c *Controller) WPQFree() int {
+	f := c.cfg.WPQ - len(c.wpq)
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// WPQEmpty reports whether every accepted write has drained to NVM.
+func (c *Controller) WPQEmpty() bool { return len(c.wpq) == 0 }
+
+// CurSeq returns the acceptance sequence number of the most recently
+// accepted write. A pcommit captures it and waits for WPQDrainedThrough —
+// writes accepted later (other cores') do not extend the wait.
+func (c *Controller) CurSeq() uint64 { return c.seq }
+
+// WPQDrainedThrough reports whether every write accepted at or before seq
+// has drained to NVM (pcommit's completion condition).
+func (c *Controller) WPQDrainedThrough(seq uint64) bool {
+	for i := range c.wpq {
+		if c.wpq[i].seq <= seq {
+			return false
+		}
+	}
+	return true
+}
+
+// ForceDrain makes Tick drain the WPQ as fast as the device allows until
+// it is empty (used while a pcommit is outstanding). Calls nest.
+func (c *Controller) ForceDrain(on bool) {
+	if on {
+		c.forceAll++
+	} else if c.forceAll > 0 {
+		c.forceAll--
+	}
+}
+
+// WriteLineEvict is WriteLine for cache evictions: it always accepts, even
+// above the configured capacity, because an eviction in the middle of a
+// line fill cannot be replayed. Overshoot is counted as WPQ full stalls.
+func (c *Controller) WriteLineEvict(now uint64, addr uint64, data [isa.LineSize]byte, cause stats.WriteCause) {
+	addr = isa.LineAddr(addr)
+	for i := range c.wpq {
+		if c.wpq[i].addr == addr && !c.wpq[i].issued {
+			c.wpq[i].data = data
+			if c.st != nil {
+				c.st.WPQCoalesced++
+			}
+			return
+		}
+	}
+	if len(c.wpq) >= c.cfg.WPQ && c.st != nil {
+		c.st.WPQFullStall++
+	}
+	c.seq++
+	c.wpq = append(c.wpq, wpqEntry{seq: c.seq, addr: addr, data: data, cause: cause, arrived: now})
+}
+
+// Tick advances the controller to cycle now: it retires writes whose
+// device access has completed (applying their data to the store) and
+// issues pending writes according to the drain policy (drain eagerly when
+// the WPQ is above half capacity, when entries age out, or when a force
+// drain is in effect; this leaves a window for write coalescing).
+func (c *Controller) Tick(now uint64) {
+	// Free read-queue slots whose device access has completed.
+	r := c.reads[:0]
+	for _, d := range c.reads {
+		if d > now {
+			r = append(r, d)
+		}
+	}
+	c.reads = r
+
+	// Retire completed writes.
+	w := c.wpq[:0]
+	for _, e := range c.wpq {
+		if e.issued && e.doneAt <= now {
+			c.store.Write(e.addr, e.data[:])
+			if c.st != nil {
+				c.st.WPQDrained++
+				if e.doneAt > e.arrived {
+					c.st.WPQResidency += e.doneAt - e.arrived
+				}
+				if e.issueAt > e.arrived {
+					c.st.WPQIssueDelay += e.issueAt - e.arrived
+				}
+				if e.doneAt > e.issueAt {
+					c.st.WPQService += e.doneAt - e.issueAt
+				}
+			}
+			continue
+		}
+		w = append(w, e)
+	}
+	c.wpq = w
+
+	// Issue pending writes FR-FCFS style, at a bounded rate so newer
+	// entries linger long enough to coalesce: row-buffer hits on free
+	// banks first (batching same-row writes amortizes the expensive NVM
+	// activates), then oldest-first on free banks, then oldest-first.
+	// A force drain (pcommit) lifts the rate bound.
+	budget := 4
+	if c.forceAll > 0 {
+		budget = len(c.wpq)
+	}
+	for ; budget > 0; budget-- {
+		best := -1
+		bestClass := 3
+	candidates:
+		for i := range c.wpq {
+			e := &c.wpq[i]
+			if e.issued || e.arrived > now {
+				continue
+			}
+			// Same-address write-write ordering: never overtake an older
+			// write to the same line still in the queue (issued or not) —
+			// draining a newer value before an older one would leave the
+			// older value in NVM.
+			for j := 0; j < i; j++ {
+				if c.wpq[j].addr == e.addr {
+					continue candidates
+				}
+			}
+			age := now - e.arrived
+			maxAge := c.maxWPQAge
+			if e.cause != stats.WriteData {
+				// Log-area writes are never latency-critical (completion
+				// is acceptance) and never read back; age them longer so
+				// a transaction's worth accumulates and drains as one
+				// row batch, amortizing the expensive NVM activate.
+				maxAge *= 8
+			}
+			if c.forceAll == 0 && len(c.wpq) <= c.drainHi && age < maxAge {
+				continue
+			}
+			// Read priority: writes only start on a currently-free bank
+			// (reads arriving meanwhile find their banks idle), except
+			// for badly aged entries and force drains.
+			class := 2
+			if c.dev.NextFree(e.addr) <= now {
+				class = 1
+				if c.dev.IsOpenRow(e.addr) {
+					class = 0
+				}
+			} else if c.forceAll == 0 && age < 4*c.maxWPQAge {
+				continue
+			}
+			if class < bestClass {
+				best, bestClass = i, class
+				if class == 0 {
+					break
+				}
+			}
+		}
+		if best < 0 {
+			break
+		}
+		e := &c.wpq[best]
+		e.issued = true
+		e.issueAt = now
+		e.doneAt = c.dev.Access(now, e.addr, true, e.cause)
+		// Burst out every other pending write to the same row while it is
+		// open: one activate serves the whole batch (free of the budget —
+		// row hits only occupy the bank for the burst).
+		// Bound the burst so an arriving read never waits behind a long
+		// write train (write pausing, a standard PCM-controller
+		// technique).
+		room := 4
+	burst:
+		for i := range c.wpq {
+			if room == 0 {
+				break
+			}
+			o := &c.wpq[i]
+			if o.issued || o.arrived > now || o.addr == e.addr || !c.dev.SameRow(o.addr, e.addr) {
+				continue
+			}
+			for j := 0; j < i; j++ {
+				if c.wpq[j].addr == o.addr {
+					continue burst // same-address ordering
+				}
+			}
+			o.issued = true
+			o.issueAt = now
+			o.doneAt = c.dev.Access(now, o.addr, true, o.cause)
+			room--
+		}
+	}
+}
+
+// ------------------------------------------------------------- LPQ (Proteus)
+
+// LogFlush offers a Proteus log entry to the LPQ at cycle now. It returns
+// false when the LPQ is full and no entry can be evicted this cycle. On
+// overflow the oldest entry is drained to NVM to make room (log entries
+// inevitably released early this way are later identified as stale by
+// their transaction ID during recovery; no invalidation writes are needed,
+// §4.3).
+//
+// The arrival of a new transaction's first log entry discards a held
+// last-entry of the previous transaction from the same core (§4.3).
+func (c *Controller) LogFlush(now uint64, e LogEntry) bool {
+	// Discard a previous transaction's held commit-mark entry.
+	l := c.lpq[:0]
+	for _, p := range c.lpq {
+		if p.Core == e.Core && p.Tx != e.Tx && p.Last {
+			if c.st != nil {
+				c.st.LPQDropped++
+			}
+			continue
+		}
+		l = append(l, p)
+	}
+	c.lpq = l
+
+	if len(c.lpq) >= c.cfg.LPQ {
+		// Evict the oldest entry to NVM, through the write scheduler so
+		// evictions batch by row instead of wedging banks one by one.
+		old := c.lpq[0]
+		c.lpq = c.lpq[1:]
+		c.WriteLineEvict(now, old.LogTo, old.Data, stats.WriteLog)
+		if c.st != nil {
+			c.st.LPQDrained++
+			c.st.LPQFullStall++
+		}
+	}
+	c.lpq = append(c.lpq, e)
+	if c.st != nil {
+		c.st.LPQAccepted++
+	}
+	return true
+}
+
+// MarkCommit sets the transaction-end mark on the transaction's last log
+// entry (§4.3: "Proteus utilizes the meta data of the last log entry for
+// marking the end of the transaction"). If the entry is still in the LPQ
+// the mark costs nothing; if it already drained to NVM (or the controller
+// runs without log write removal) the updated entry must be written, which
+// goes through the WPQ and can be refused when it is full (retry).
+func (c *Controller) MarkCommit(now uint64, core int, tx uint32, lastLogTo uint64) bool {
+	for i := range c.lpq {
+		e := &c.lpq[i]
+		if e.Core == core && e.Tx == tx && e.LogTo == lastLogTo {
+			e.Last = true
+			logfmt.SetProteusLast(&e.Data)
+			return true
+		}
+	}
+	// Entry already in NVM (or WPQ): rewrite it with the mark set.
+	var line [isa.LineSize]byte
+	_, line, _ = c.PeekLine(lastLogTo)
+	logfmt.SetProteusLast(&line)
+	return c.WriteLine(now, lastLogTo, line, stats.WriteLog)
+}
+
+// FlashClear drops all LPQ entries of (core, tx) except one carrying the
+// transaction-end mark, which is held until the next transaction's first
+// log entry arrives (§4.3). It is called when tx-end executes, after the
+// transaction's data updates are durable.
+func (c *Controller) FlashClear(core int, tx uint32) {
+	l := c.lpq[:0]
+	for _, e := range c.lpq {
+		if e.Core == core && e.Tx == tx && !e.Last {
+			if c.st != nil {
+				c.st.LPQDropped++
+			}
+			continue
+		}
+		l = append(l, e)
+	}
+	c.lpq = l
+}
+
+// DrainLog writes every LPQ entry of (core, tx) to NVM (the context-switch
+// path, §4.4: "we send a message to the MC informing it to write all LPQ
+// entries for the txID to NVMM").
+func (c *Controller) DrainLog(now uint64, core int, tx uint32) {
+	l := c.lpq[:0]
+	for _, e := range c.lpq {
+		if e.Core == core && e.Tx == tx {
+			c.dev.Access(now, e.LogTo, true, stats.WriteLog)
+			c.store.Write(e.LogTo, e.Data[:])
+			if c.st != nil {
+				c.st.LPQDrained++
+			}
+			continue
+		}
+		l = append(l, e)
+	}
+	c.lpq = l
+}
+
+// LPQLen returns the LPQ occupancy.
+func (c *Controller) LPQLen() int { return len(c.lpq) }
+
+// ---------------------------------------------------------------- ATOM
+
+// AtomLog creates a log entry for one cache line at the controller (the
+// source-log optimization: the entry is created at the MC rather than the
+// cache controller). preimage is the line's pre-transaction contents;
+// logTo is where the entry lands in the core's log area. With the
+// posted-log optimization the acknowledgment is sent as soon as the entry
+// is accepted, so the returned ack cycle is the acceptance cycle; ok is
+// false when the WPQ is full and the request must be retried.
+//
+// ATOM has no LPQ: its log writes drain to NVM with regular writes, which
+// is the source of its write amplification (Figure 8).
+func (c *Controller) AtomLog(now uint64, core int, tx uint32, logTo uint64, entry [isa.LineSize]byte) (ack uint64, ok bool) {
+	if !c.atomWrite(now, logTo, entry, stats.WriteLog, core, tx) {
+		return 0, false
+	}
+	return now, true
+}
+
+// AtomTxEnd truncates the transaction's log: entries still pending in the
+// WPQ are cancelled (no NVM write ever happens), while entries already
+// drained must be invalidated with one NVM write each (§4.3: ATOM's MC
+// tracks active log entries and clears them; beyond its tracking
+// resources it searches the log area and invalidates them one by one).
+// logEntries lists the log-to addresses the transaction wrote; tracked is
+// the MC hardware's tracking capacity.
+func (c *Controller) AtomTxEnd(now uint64, core int, tx uint32, logEntries []uint64, tracked int) {
+	// Cancel the transaction's log writes still at the controller —
+	// pending or in flight. (An in-flight entry that drained after the
+	// invalidation would resurrect a stale log entry.) Only un-issued
+	// cancellations save an NVM write; issued ones already accessed the
+	// device.
+	cancelled := make(map[uint64]bool)
+	w := c.wpq[:0]
+	for _, e := range c.wpq {
+		if e.atomCore == core+1 && e.atomTx == tx && e.cause == stats.WriteLog {
+			if !e.issued {
+				cancelled[e.addr] = true
+			}
+			continue
+		}
+		w = append(w, e)
+	}
+	c.wpq = w
+
+	var zero [isa.LineSize]byte
+	for _, a := range logEntries {
+		if cancelled[isa.LineAddr(a)] {
+			continue
+		}
+		if tracked > 0 {
+			// Within the MC's tracking resources the clear is free: the
+			// tracking table is inside the ADR persistency domain, so the
+			// entry is invalid without touching NVM (the design point
+			// that bounds ATOM's benefits to its available resources,
+			// §4.3).
+			tracked--
+			c.store.Write(isa.LineAddr(a), zero[:])
+			continue
+		}
+		// Beyond the tracking capacity: search the log area (a read) and
+		// invalidate the entry with a write, through the WPQ.
+		c.dev.Access(now, a, false, stats.WriteData)
+		if !c.WriteLine(now, a, zero, stats.WriteTruncate) {
+			c.dev.Access(now, a, true, stats.WriteTruncate)
+			c.store.Write(isa.LineAddr(a), zero[:])
+		}
+	}
+}
+
+// ------------------------------------------------------------ crash image
+
+// CrashImage returns the persistent state visible to recovery after a
+// power failure at the current moment. With ADR, everything accepted into
+// the WPQ and LPQ is inside the persistency domain and therefore part of
+// the image; without ADR (the PMEM+pcommit configuration) only data
+// already written to NVM survives.
+func (c *Controller) CrashImage(adr bool) *nvm.Store {
+	img := c.store.Snapshot()
+	if adr {
+		for _, e := range c.wpq {
+			img.Write(e.addr, e.data[:])
+		}
+		for _, e := range c.lpq {
+			img.Write(e.LogTo, e.Data[:])
+		}
+	}
+	return img
+}

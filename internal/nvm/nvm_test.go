@@ -1,0 +1,196 @@
+package nvm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
+
+func TestStoreReadWrite(t *testing.T) {
+	s := NewStore()
+	// Unwritten memory reads as zero.
+	if got := s.Read(0x1000, 16); !bytes.Equal(got, make([]byte, 16)) {
+		t.Fatalf("fresh read not zero: %x", got)
+	}
+	data := []byte("hello, persistent world!")
+	s.Write(0x1000, data)
+	if got := s.Read(0x1000, len(data)); !bytes.Equal(got, data) {
+		t.Fatalf("roundtrip: %q", got)
+	}
+	// Cross-line write.
+	s.Write(0x103c, data)
+	if got := s.Read(0x103c, len(data)); !bytes.Equal(got, data) {
+		t.Fatalf("cross-line roundtrip: %q", got)
+	}
+}
+
+func TestStoreUint64(t *testing.T) {
+	s := NewStore()
+	s.WriteUint64(0x2008, 0xDEADBEEFCAFEF00D)
+	if got := s.ReadUint64(0x2008); got != 0xDEADBEEFCAFEF00D {
+		t.Fatalf("got %#x", got)
+	}
+	// Little-endian byte order.
+	if b := s.Read(0x2008, 1)[0]; b != 0x0D {
+		t.Fatalf("first byte %#x", b)
+	}
+}
+
+func TestStoreQuickRoundtrip(t *testing.T) {
+	s := NewStore()
+	prop := func(off uint16, val uint64) bool {
+		addr := 0x5000 + uint64(off)
+		s.WriteUint64(addr, val)
+		return s.ReadUint64(addr) == val
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	s := NewStore()
+	s.WriteUint64(0x100, 1)
+	snap := s.Snapshot()
+	s.WriteUint64(0x100, 2)
+	if snap.ReadUint64(0x100) != 1 {
+		t.Fatal("snapshot mutated by later write")
+	}
+	snap.WriteUint64(0x100, 3)
+	if s.ReadUint64(0x100) != 2 {
+		t.Fatal("original mutated by snapshot write")
+	}
+}
+
+func TestLinesIn(t *testing.T) {
+	s := NewStore()
+	s.WriteUint64(0x1000, 1)
+	s.WriteUint64(0x1040, 1)
+	s.WriteUint64(0x2000, 1)
+	lines := s.LinesIn(0x1000, 0x2000)
+	if len(lines) != 2 || lines[0] != 0x1000 || lines[1] != 0x1040 {
+		t.Fatalf("lines: %#x", lines)
+	}
+}
+
+func TestEqualRange(t *testing.T) {
+	a, b := NewStore(), NewStore()
+	a.WriteUint64(0x100, 7)
+	b.WriteUint64(0x100, 7)
+	if eq, _ := a.EqualRange(b, 0x100, 64); !eq {
+		t.Fatal("equal stores compared unequal")
+	}
+	b.WriteUint64(0x108, 9)
+	eq, at := a.EqualRange(b, 0x100, 64)
+	if eq || at != 0x108 {
+		t.Fatalf("difference not found: eq=%v at=%#x", eq, at)
+	}
+}
+
+// ---------------------------------------------------------------- device
+
+func newDev(kind config.MemKind) (*Device, *stats.Mem) {
+	st := &stats.Mem{}
+	cfg := config.Default().WithMemKind(kind).Mem
+	return NewDevice(cfg, st), st
+}
+
+func TestDeviceRowBufferHit(t *testing.T) {
+	d, st := newDev(config.NVMFast)
+	a := uint64(isa.HeapBase)
+	first := d.Access(0, a, false, stats.WriteData)
+	// Second access to the same line at a later time: row hit, cheaper.
+	second := d.Access(first, a, false, stats.WriteData) - first
+	if second >= first {
+		t.Fatalf("row hit (%d) not faster than activate (%d)", second, first)
+	}
+	if st.RowBufferHits != 1 || st.RowBufferMiss != 1 {
+		t.Fatalf("hit/miss counts: %d/%d", st.RowBufferHits, st.RowBufferMiss)
+	}
+}
+
+func TestDeviceNVMWriteSlowerThanRead(t *testing.T) {
+	d, _ := newDev(config.NVMFast)
+	rd := d.Access(0, isa.HeapBase, false, stats.WriteData)
+	d2, _ := newDev(config.NVMFast)
+	wr := d2.Access(0, isa.HeapBase, true, stats.WriteData)
+	if wr <= rd {
+		t.Fatalf("NVM write latency (%d) not greater than read (%d)", wr, rd)
+	}
+}
+
+func TestDeviceSlowNVMWriteSlower(t *testing.T) {
+	fast, _ := newDev(config.NVMFast)
+	slow, _ := newDev(config.NVMSlow)
+	wf := fast.Access(0, isa.HeapBase, true, stats.WriteData)
+	ws := slow.Access(0, isa.HeapBase, true, stats.WriteData)
+	if ws <= wf {
+		t.Fatalf("slow NVM write (%d) not slower than fast (%d)", ws, wf)
+	}
+	// Reads are unaffected (§7.1 keeps 50ns reads).
+	rf := fast.Access(1_000_000, isa.HeapBase+1<<20, false, stats.WriteData) - 1_000_000
+	rs := slow.Access(1_000_000, isa.HeapBase+1<<20, false, stats.WriteData) - 1_000_000
+	if rf != rs {
+		t.Fatalf("slow NVM changed read latency: %d vs %d", rs, rf)
+	}
+}
+
+func TestDeviceDRAMFasterThanNVM(t *testing.T) {
+	dram, _ := newDev(config.DRAM)
+	nvmf, _ := newDev(config.NVMFast)
+	wd := dram.Access(0, isa.HeapBase, true, stats.WriteData)
+	wn := nvmf.Access(0, isa.HeapBase, true, stats.WriteData)
+	if wd >= wn {
+		t.Fatalf("DRAM write (%d) not faster than NVM (%d)", wd, wn)
+	}
+}
+
+func TestDeviceBankParallelism(t *testing.T) {
+	d, _ := newDev(config.NVMFast)
+	// Writes to many distinct rows land on different banks and overlap;
+	// the makespan must be far below the serialized sum.
+	n := 16
+	var last uint64
+	single := d.Access(0, isa.HeapBase, true, stats.WriteData)
+	d2, _ := newDev(config.NVMFast)
+	for i := 0; i < n; i++ {
+		done := d2.Access(0, isa.HeapBase+uint64(i)*4096, true, stats.WriteData)
+		if done > last {
+			last = done
+		}
+	}
+	if last > single*4 {
+		t.Fatalf("16 spread writes took %d; single takes %d — no bank parallelism?", last, single)
+	}
+}
+
+func TestDeviceEndurance(t *testing.T) {
+	d, _ := newDev(config.NVMFast)
+	d.EnableEndurance()
+	d.Access(0, isa.HeapBase, true, stats.WriteData)
+	d.Access(1000, isa.HeapBase, true, stats.WriteData)
+	d.Access(2000, isa.HeapBase+64, true, stats.WriteData)
+	wc := d.WriteCounts()
+	if wc[isa.HeapBase] != 2 || wc[isa.HeapBase+64] != 1 {
+		t.Fatalf("write counts: %v", wc)
+	}
+}
+
+func TestDeviceBankSpreadForAlignedRegions(t *testing.T) {
+	d, _ := newDev(config.NVMFast)
+	// Per-thread regions are large power-of-two strides; their hot rows
+	// must not all collapse onto one bank.
+	banks := make(map[int]bool)
+	for thread := 0; thread < 8; thread++ {
+		base, _ := isa.LogWindow(thread)
+		b, _ := d.bankAndRow(base)
+		banks[b] = true
+	}
+	if len(banks) < 4 {
+		t.Fatalf("8 thread log bases map to only %d banks", len(banks))
+	}
+}

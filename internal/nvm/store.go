@@ -1,0 +1,142 @@
+// Package nvm models the main-memory device: a byte-addressable backing
+// store that holds the simulated machine's actual data (so that crash
+// images can be extracted and recovery verified), and a DDR3-1600-style
+// timing model with 16 banks and a 2KB row buffer whose tRCD is raised to
+// NVM latencies per Table 1 (50ns read / 150ns write, or 300ns write in
+// the slow-NVM study).
+package nvm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Store is the functional contents of main memory, kept as sparse 64-byte
+// blocks. It is shared between the timing layer (writes drained from the
+// memory controller land here) and the recovery layer (crash images are
+// snapshots of it).
+type Store struct {
+	blocks map[uint64]*[isa.LineSize]byte
+}
+
+// NewStore returns an empty store. Unwritten bytes read as zero.
+func NewStore() *Store {
+	return &Store{blocks: make(map[uint64]*[isa.LineSize]byte)}
+}
+
+func (s *Store) block(addr uint64, create bool) *[isa.LineSize]byte {
+	line := isa.LineAddr(addr)
+	b := s.blocks[line]
+	if b == nil && create {
+		b = new([isa.LineSize]byte)
+		s.blocks[line] = b
+	}
+	return b
+}
+
+// Read copies size bytes at addr into a fresh slice.
+func (s *Store) Read(addr uint64, size int) []byte {
+	out := make([]byte, size)
+	s.ReadInto(addr, out)
+	return out
+}
+
+// ReadInto fills buf with the bytes at addr.
+func (s *Store) ReadInto(addr uint64, buf []byte) {
+	for i := 0; i < len(buf); {
+		b := s.block(addr+uint64(i), false)
+		off := int((addr + uint64(i)) & (isa.LineSize - 1))
+		n := isa.LineSize - off
+		if n > len(buf)-i {
+			n = len(buf) - i
+		}
+		if b == nil {
+			for j := 0; j < n; j++ {
+				buf[i+j] = 0
+			}
+		} else {
+			copy(buf[i:i+n], b[off:off+n])
+		}
+		i += n
+	}
+}
+
+// Write stores data at addr.
+func (s *Store) Write(addr uint64, data []byte) {
+	for i := 0; i < len(data); {
+		b := s.block(addr+uint64(i), true)
+		off := int((addr + uint64(i)) & (isa.LineSize - 1))
+		n := isa.LineSize - off
+		if n > len(data)-i {
+			n = len(data) - i
+		}
+		copy(b[off:off+n], data[i:i+n])
+		i += n
+	}
+}
+
+// ReadUint64 reads an 8-byte little-endian value.
+func (s *Store) ReadUint64(addr uint64) uint64 {
+	var buf [8]byte
+	s.ReadInto(addr, buf[:])
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(buf[i])
+	}
+	return v
+}
+
+// WriteUint64 writes an 8-byte little-endian value.
+func (s *Store) WriteUint64(addr, v uint64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	s.Write(addr, buf[:])
+}
+
+// Snapshot returns a deep copy of the store (a crash image).
+func (s *Store) Snapshot() *Store {
+	c := NewStore()
+	for a, b := range s.blocks {
+		nb := *b
+		c.blocks[a] = &nb
+	}
+	return c
+}
+
+// Blocks returns the number of materialized 64-byte blocks.
+func (s *Store) Blocks() int { return len(s.blocks) }
+
+// LinesIn returns the sorted addresses of materialized 64-byte blocks in
+// [base, limit). Recovery uses it to scan log areas without touching
+// never-written space.
+func (s *Store) LinesIn(base, limit uint64) []uint64 {
+	var out []uint64
+	for a := range s.blocks {
+		if a >= base && a < limit {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EqualRange reports whether two stores hold identical bytes over
+// [addr, addr+size), along with the first differing address.
+func (s *Store) EqualRange(o *Store, addr uint64, size int) (bool, uint64) {
+	a := s.Read(addr, size)
+	b := o.Read(addr, size)
+	for i := range a {
+		if a[i] != b[i] {
+			return false, addr + uint64(i)
+		}
+	}
+	return true, 0
+}
+
+func (s *Store) String() string {
+	return fmt.Sprintf("nvm.Store{%d blocks}", len(s.blocks))
+}

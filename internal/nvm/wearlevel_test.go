@@ -1,0 +1,105 @@
+package nvm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
+
+func TestStartGapRemapBijective(t *testing.T) {
+	sg, err := NewStartGap(isa.HeapBase, 64, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After arbitrary gap movements the mapping must stay a bijection
+	// over the physical region (no two logical lines collide).
+	for round := 0; round < 200; round++ {
+		seen := make(map[uint64]bool)
+		for l := uint64(0); l < 64; l++ {
+			p := sg.Remap(isa.HeapBase + l*isa.LineSize)
+			if p%isa.LineSize != 0 {
+				t.Fatalf("remap broke alignment: %#x", p)
+			}
+			if p < isa.HeapBase || p >= isa.HeapBase+65*isa.LineSize {
+				t.Fatalf("remap escaped region: %#x", p)
+			}
+			if seen[p] {
+				t.Fatalf("round %d: collision at %#x", round, p)
+			}
+			seen[p] = true
+		}
+		for i := 0; i < 10; i++ {
+			sg.OnWrite()
+		}
+	}
+}
+
+func TestStartGapOffsetPreserved(t *testing.T) {
+	sg, _ := NewStartGap(isa.HeapBase, 16, 5)
+	prop := func(line uint8, off uint8) bool {
+		addr := isa.HeapBase + uint64(line%16)*isa.LineSize + uint64(off%isa.LineSize)
+		p := sg.Remap(addr)
+		return p%isa.LineSize == addr%isa.LineSize
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartGapOutsideRegionUntouched(t *testing.T) {
+	sg, _ := NewStartGap(isa.HeapBase, 16, 5)
+	out := isa.HeapBase + 1<<20
+	if sg.Remap(out) != out {
+		t.Fatal("address outside region remapped")
+	}
+}
+
+func TestStartGapSpreadsHotLine(t *testing.T) {
+	cfg := config.Default().Mem
+	st := &stats.Mem{}
+	d := NewDevice(cfg, st)
+	d.EnableEndurance()
+	sg, _ := NewStartGap(isa.HeapBase, 64, 4)
+	d.EnableWearLeveling(sg)
+
+	// Hammer one logical line.
+	hot := uint64(isa.HeapBase)
+	const writes = 4000
+	now := uint64(0)
+	for i := 0; i < writes; i++ {
+		now = d.Access(now, hot, true, stats.WriteData)
+	}
+	counts := d.WriteCounts()
+	var maxCount uint64
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	// Without leveling the hot line would hold all 4000 writes. With
+	// Start-Gap the maximum must be far below that.
+	if maxCount > writes/4 {
+		t.Fatalf("hottest physical line has %d of %d writes — leveling ineffective", maxCount, writes)
+	}
+	if len(counts) < 32 {
+		t.Fatalf("writes spread over only %d lines", len(counts))
+	}
+	if sg.Moves() == 0 {
+		t.Fatal("gap never moved")
+	}
+}
+
+func TestStartGapValidation(t *testing.T) {
+	if _, err := NewStartGap(isa.HeapBase, 1, 10); err == nil {
+		t.Error("accepted 1-line region")
+	}
+	if _, err := NewStartGap(isa.HeapBase, 16, 0); err == nil {
+		t.Error("accepted psi=0")
+	}
+	if _, err := NewStartGap(isa.HeapBase+1, 16, 10); err == nil {
+		t.Error("accepted unaligned base")
+	}
+}

@@ -1,0 +1,255 @@
+package pstruct
+
+import "repro/internal/heap"
+
+// AVL is a persistent AVL tree (the AT benchmark: insert or delete nodes
+// in 16 AVL trees). Nodes are 64-byte lines.
+//
+// Node layout: [0] key, [8] value, [16] left, [24] right, [32] height.
+// Header layout: [0] root, [8] size.
+type AVL struct {
+	h   *heap.Heap
+	hdr uint64
+}
+
+const (
+	avKey    = 0
+	avVal    = 8
+	avLeft   = 16
+	avRight  = 24
+	avHeight = 32
+)
+
+// NewAVL allocates an empty tree.
+func NewAVL(h *heap.Heap) *AVL {
+	return &AVL{h: h, hdr: h.Alloc(64)}
+}
+
+// Size returns the number of nodes.
+func (t *AVL) Size() uint64 { return t.h.Load(t.hdr + 8) }
+
+func (t *AVL) height(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return t.h.Load(n + avHeight)
+}
+
+func (t *AVL) fixHeight(n uint64) {
+	l, r := t.height(t.h.Load(n+avLeft)), t.height(t.h.Load(n+avRight))
+	if l < r {
+		l = r
+	}
+	t.h.Store(n+avHeight, l+1)
+}
+
+func (t *AVL) balance(n uint64) int64 {
+	return int64(t.height(t.h.Load(n+avLeft))) - int64(t.height(t.h.Load(n+avRight)))
+}
+
+func (t *AVL) rotateRight(n uint64) uint64 {
+	h := t.h
+	l := h.Load(n + avLeft)
+	touch(h, l)
+	h.Store(n+avLeft, h.Load(l+avRight))
+	h.Store(l+avRight, n)
+	t.fixHeight(n)
+	t.fixHeight(l)
+	return l
+}
+
+func (t *AVL) rotateLeft(n uint64) uint64 {
+	h := t.h
+	r := h.Load(n + avRight)
+	touch(h, r)
+	h.Store(n+avRight, h.Load(r+avLeft))
+	h.Store(r+avLeft, n)
+	t.fixHeight(n)
+	t.fixHeight(r)
+	return r
+}
+
+func (t *AVL) rebalance(n uint64) uint64 {
+	t.fixHeight(n)
+	switch b := t.balance(n); {
+	case b > 1:
+		l := t.h.Load(n + avLeft)
+		touch(t.h, l)
+		if t.balance(l) < 0 {
+			t.h.Store(n+avLeft, t.rotateLeft(l))
+		}
+		return t.rotateRight(n)
+	case b < -1:
+		r := t.h.Load(n + avRight)
+		touch(t.h, r)
+		if t.balance(r) > 0 {
+			t.h.Store(n+avRight, t.rotateRight(r))
+		}
+		return t.rotateLeft(n)
+	}
+	return n
+}
+
+// Insert adds key/val, reporting whether a new node was created.
+func (t *AVL) Insert(key, val uint64) bool {
+	touch(t.h, t.hdr)
+	root, added := t.insert(t.h.Load(t.hdr), key, val)
+	t.h.Store(t.hdr, root)
+	if added {
+		t.h.Store(t.hdr+8, t.h.Load(t.hdr+8)+1)
+	}
+	return added
+}
+
+func (t *AVL) insert(n, key, val uint64) (uint64, bool) {
+	h := t.h
+	if n == 0 {
+		nn := h.Alloc(64)
+		h.Store(nn+avKey, key)
+		h.Store(nn+avVal, val)
+		h.Store(nn+avLeft, 0)
+		h.Store(nn+avRight, 0)
+		h.Store(nn+avHeight, 1)
+		return nn, true
+	}
+	touch(h, n) // conservative: the whole search path may rebalance
+	k := h.Load(n + avKey)
+	var added bool
+	switch {
+	case key < k:
+		var l uint64
+		l, added = t.insert(h.Load(n+avLeft), key, val)
+		h.Store(n+avLeft, l)
+	case key > k:
+		var r uint64
+		r, added = t.insert(h.Load(n+avRight), key, val)
+		h.Store(n+avRight, r)
+	default:
+		h.Store(n+avVal, val)
+		return n, false
+	}
+	return t.rebalance(n), added
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *AVL) Delete(key uint64) bool {
+	touch(t.h, t.hdr)
+	root, removed := t.delete(t.h.Load(t.hdr), key)
+	t.h.Store(t.hdr, root)
+	if removed {
+		t.h.Store(t.hdr+8, t.h.Load(t.hdr+8)-1)
+	}
+	return removed
+}
+
+func (t *AVL) delete(n, key uint64) (uint64, bool) {
+	h := t.h
+	if n == 0 {
+		return 0, false
+	}
+	touch(h, n)
+	k := h.Load(n + avKey)
+	var removed bool
+	switch {
+	case key < k:
+		var l uint64
+		l, removed = t.delete(h.Load(n+avLeft), key)
+		h.Store(n+avLeft, l)
+	case key > k:
+		var r uint64
+		r, removed = t.delete(h.Load(n+avRight), key)
+		h.Store(n+avRight, r)
+	default:
+		l, r := h.Load(n+avLeft), h.Load(n+avRight)
+		if l == 0 || r == 0 {
+			child := l
+			if child == 0 {
+				child = r
+			}
+			h.Free(n, 64)
+			return child, true
+		}
+		// Replace with the in-order successor (min of right subtree).
+		succ := r
+		for {
+			touch(h, succ)
+			l := h.Load(succ + avLeft)
+			if l == 0 {
+				break
+			}
+			succ = l
+		}
+		sk, sv := h.Load(succ+avKey), h.Load(succ+avVal)
+		nr, _ := t.delete(r, sk)
+		h.Store(n+avKey, sk)
+		h.Store(n+avVal, sv)
+		h.Store(n+avRight, nr)
+		return t.rebalance(n), true
+	}
+	if !removed {
+		return n, false
+	}
+	return t.rebalance(n), true
+}
+
+// Lookup returns the value for key.
+func (t *AVL) Lookup(key uint64) (uint64, bool) {
+	h := t.h
+	n := h.Load(t.hdr)
+	for n != 0 {
+		k := h.Load(n + avKey)
+		switch {
+		case key < k:
+			n = h.Load(n + avLeft)
+		case key > k:
+			n = h.Load(n + avRight)
+		default:
+			return h.Load(n + avVal), true
+		}
+	}
+	return 0, false
+}
+
+// Check verifies ordering, height bookkeeping and the AVL balance
+// invariant, and that the stored size matches the node count.
+func (t *AVL) Check() error {
+	count, _, err := t.check(t.h.Load(t.hdr), 0, ^uint64(0))
+	if err != nil {
+		return err
+	}
+	if got := t.Size(); got != count {
+		return errCount("avl size", got, count)
+	}
+	return nil
+}
+
+func (t *AVL) check(n, lo, hi uint64) (count, height uint64, err error) {
+	if n == 0 {
+		return 0, 0, nil
+	}
+	h := t.h
+	k := h.Load(n + avKey)
+	if k < lo || k > hi {
+		return 0, 0, errf("avl key %d out of range [%d,%d]", k, lo, hi)
+	}
+	lc, lh, err := t.check(h.Load(n+avLeft), lo, k-1)
+	if err != nil {
+		return 0, 0, err
+	}
+	rc, rh, err := t.check(h.Load(n+avRight), k+1, hi)
+	if err != nil {
+		return 0, 0, err
+	}
+	hh := lh
+	if rh > hh {
+		hh = rh
+	}
+	hh++
+	if got := h.Load(n + avHeight); got != hh {
+		return 0, 0, errf("avl height of %d: stored %d, actual %d", k, got, hh)
+	}
+	if d := int64(lh) - int64(rh); d < -1 || d > 1 {
+		return 0, 0, errf("avl imbalance %d at key %d", d, k)
+	}
+	return lc + rc + 1, hh, nil
+}

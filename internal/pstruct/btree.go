@@ -1,0 +1,391 @@
+package pstruct
+
+import "repro/internal/heap"
+
+// BTree is a persistent B-tree of minimum degree 2 (a 2-3-4 tree), the BT
+// benchmark. One 64-byte node holds the occupancy/leaf word, up to 3 keys
+// and up to 4 children — the largest order that fits Table 2's 64-byte,
+// line-aligned node.
+//
+// Node layout: [0] count|leaf<<32, [8..24] keys, [32..56] children.
+// Header layout: [0] root, [8] size.
+type BTree struct {
+	h   *heap.Heap
+	hdr uint64
+}
+
+const btDegree = 2 // minimum degree t: nodes hold t-1..2t-1 keys
+
+const (
+	btMeta  = 0
+	btKeys  = 8
+	btKids  = 32
+	btLeafF = uint64(1) << 32
+)
+
+// NewBTree allocates an empty tree.
+func NewBTree(h *heap.Heap) *BTree {
+	t := &BTree{h: h, hdr: h.Alloc(64)}
+	root := h.Alloc(64)
+	h.Store(root+btMeta, btLeafF) // empty leaf
+	h.Store(t.hdr, root)
+	return t
+}
+
+// Size returns the number of keys.
+func (t *BTree) Size() uint64 { return t.h.Load(t.hdr + 8) }
+
+func (t *BTree) count(n uint64) int { return int(t.h.Load(n+btMeta) & 0xFFFFFFFF) }
+func (t *BTree) leaf(n uint64) bool { return t.h.Load(n+btMeta)&btLeafF != 0 }
+
+func (t *BTree) setMeta(n uint64, count int, leaf bool) {
+	m := uint64(count)
+	if leaf {
+		m |= btLeafF
+	}
+	t.h.Store(n+btMeta, m)
+}
+
+func (t *BTree) key(n uint64, i int) uint64       { return t.h.Load(n + btKeys + uint64(i*8)) }
+func (t *BTree) setKey(n uint64, i int, k uint64) { t.h.Store(n+btKeys+uint64(i*8), k) }
+func (t *BTree) child(n uint64, i int) uint64     { return t.h.Load(n + btKids + uint64(i*8)) }
+func (t *BTree) setChild(n uint64, i int, c uint64) {
+	t.h.Store(n+btKids+uint64(i*8), c)
+}
+
+// Insert adds key, reporting whether it was absent.
+func (t *BTree) Insert(key uint64) bool {
+	root := t.h.Load(t.hdr)
+	touch(t.h, t.hdr)
+	touch(t.h, root)
+	if t.count(root) == 2*btDegree-1 {
+		nr := t.h.Alloc(64)
+		t.setMeta(nr, 0, false)
+		t.setChild(nr, 0, root)
+		t.h.Store(t.hdr, nr)
+		t.splitChild(nr, 0)
+		root = nr
+	}
+	added := t.insertNonFull(root, key)
+	if added {
+		t.h.Store(t.hdr+8, t.Size()+1)
+	}
+	return added
+}
+
+// splitChild splits the full i-th child of n (n is non-full).
+func (t *BTree) splitChild(n uint64, i int) {
+	h := t.h
+	touch(h, n)
+	c := t.child(n, i)
+	touch(h, c)
+	nn := h.Alloc(64)
+	leaf := t.leaf(c)
+	// Move the top t-1 keys (and t children) of c to nn.
+	t.setMeta(nn, btDegree-1, leaf)
+	for j := 0; j < btDegree-1; j++ {
+		t.setKey(nn, j, t.key(c, j+btDegree))
+	}
+	if !leaf {
+		for j := 0; j < btDegree; j++ {
+			t.setChild(nn, j, t.child(c, j+btDegree))
+		}
+	}
+	mid := t.key(c, btDegree-1)
+	t.setMeta(c, btDegree-1, leaf)
+	// Shift n's keys/children right and insert mid/nn.
+	cnt := t.count(n)
+	for j := cnt; j > i; j-- {
+		t.setKey(n, j, t.key(n, j-1))
+		t.setChild(n, j+1, t.child(n, j))
+	}
+	t.setKey(n, i, mid)
+	t.setChild(n, i+1, nn)
+	t.setMeta(n, cnt+1, t.leaf(n))
+}
+
+func (t *BTree) insertNonFull(n, key uint64) bool {
+	h := t.h
+	for {
+		touch(h, n)
+		cnt := t.count(n)
+		// Reject duplicates.
+		i := cnt - 1
+		for i >= 0 && key < t.key(n, i) {
+			i--
+		}
+		if i >= 0 && key == t.key(n, i) {
+			return false
+		}
+		if t.leaf(n) {
+			for j := cnt - 1; j > i; j-- {
+				t.setKey(n, j+1, t.key(n, j))
+			}
+			t.setKey(n, i+1, key)
+			t.setMeta(n, cnt+1, true)
+			return true
+		}
+		ci := i + 1
+		c := t.child(n, ci)
+		touch(h, c)
+		if t.count(c) == 2*btDegree-1 {
+			t.splitChild(n, ci)
+			if key == t.key(n, ci) {
+				return false
+			}
+			if key > t.key(n, ci) {
+				ci++
+			}
+			c = t.child(n, ci)
+		}
+		n = c
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *BTree) Delete(key uint64) bool {
+	h := t.h
+	touch(h, t.hdr)
+	root := h.Load(t.hdr)
+	removed := t.delete(root, key)
+	// Shrink the root when it empties.
+	if t.count(root) == 0 && !t.leaf(root) {
+		nr := t.child(root, 0)
+		h.Store(t.hdr, nr)
+		h.Free(root, 64)
+	}
+	if removed {
+		h.Store(t.hdr+8, t.Size()-1)
+	}
+	return removed
+}
+
+func (t *BTree) delete(n, key uint64) bool {
+	h := t.h
+	touch(h, n)
+	cnt := t.count(n)
+	i := 0
+	for i < cnt && key > t.key(n, i) {
+		i++
+	}
+	if t.leaf(n) {
+		if i < cnt && key == t.key(n, i) {
+			for j := i; j < cnt-1; j++ {
+				t.setKey(n, j, t.key(n, j+1))
+			}
+			t.setMeta(n, cnt-1, true)
+			return true
+		}
+		return false
+	}
+	if i < cnt && key == t.key(n, i) {
+		y, z := t.child(n, i), t.child(n, i+1)
+		touch(h, y)
+		touch(h, z)
+		switch {
+		case t.count(y) >= btDegree:
+			pred := t.maxKey(y)
+			t.setKey(n, i, pred)
+			return t.delete(y, pred)
+		case t.count(z) >= btDegree:
+			succ := t.minKey(z)
+			t.setKey(n, i, succ)
+			return t.delete(z, succ)
+		default:
+			t.mergeChildren(n, i)
+			return t.delete(y, key)
+		}
+	}
+	c := t.child(n, i)
+	touch(h, c)
+	if t.count(c) == btDegree-1 {
+		c = t.fixChild(n, i)
+	}
+	return t.delete(c, key)
+}
+
+// fixChild ensures the i-th child of n has at least t keys before
+// descending, borrowing from a sibling or merging. It returns the child to
+// descend into.
+func (t *BTree) fixChild(n uint64, i int) uint64 {
+	h := t.h
+	c := t.child(n, i)
+	cnt := t.count(n)
+	// Borrow from the left sibling.
+	if i > 0 {
+		l := t.child(n, i-1)
+		touch(h, l)
+		if t.count(l) >= btDegree {
+			ccnt, lcnt := t.count(c), t.count(l)
+			leaf := t.leaf(c)
+			for j := ccnt - 1; j >= 0; j-- {
+				t.setKey(c, j+1, t.key(c, j))
+			}
+			if !leaf {
+				for j := ccnt; j >= 0; j-- {
+					t.setChild(c, j+1, t.child(c, j))
+				}
+				t.setChild(c, 0, t.child(l, lcnt))
+			}
+			t.setKey(c, 0, t.key(n, i-1))
+			t.setKey(n, i-1, t.key(l, lcnt-1))
+			t.setMeta(c, ccnt+1, leaf)
+			t.setMeta(l, lcnt-1, t.leaf(l))
+			return c
+		}
+	}
+	// Borrow from the right sibling.
+	if i < cnt {
+		r := t.child(n, i+1)
+		touch(h, r)
+		if t.count(r) >= btDegree {
+			ccnt, rcnt := t.count(c), t.count(r)
+			leaf := t.leaf(c)
+			t.setKey(c, ccnt, t.key(n, i))
+			t.setKey(n, i, t.key(r, 0))
+			if !leaf {
+				t.setChild(c, ccnt+1, t.child(r, 0))
+			}
+			for j := 0; j < rcnt-1; j++ {
+				t.setKey(r, j, t.key(r, j+1))
+			}
+			if !t.leaf(r) {
+				for j := 0; j < rcnt; j++ {
+					t.setChild(r, j, t.child(r, j+1))
+				}
+			}
+			t.setMeta(c, ccnt+1, leaf)
+			t.setMeta(r, rcnt-1, t.leaf(r))
+			return c
+		}
+	}
+	// Merge with a sibling.
+	if i < cnt {
+		t.mergeChildren(n, i)
+		return t.child(n, i)
+	}
+	t.mergeChildren(n, i-1)
+	return t.child(n, i-1)
+}
+
+// mergeChildren merges child i, separator key i, and child i+1 into child
+// i (both children have t-1 keys).
+func (t *BTree) mergeChildren(n uint64, i int) {
+	h := t.h
+	c, r := t.child(n, i), t.child(n, i+1)
+	touch(h, c)
+	touch(h, r)
+	leaf := t.leaf(c)
+	t.setKey(c, btDegree-1, t.key(n, i))
+	for j := 0; j < btDegree-1; j++ {
+		t.setKey(c, j+btDegree, t.key(r, j))
+	}
+	if !leaf {
+		for j := 0; j < btDegree; j++ {
+			t.setChild(c, j+btDegree, t.child(r, j))
+		}
+	}
+	t.setMeta(c, 2*btDegree-1, leaf)
+	cnt := t.count(n)
+	for j := i; j < cnt-1; j++ {
+		t.setKey(n, j, t.key(n, j+1))
+		t.setChild(n, j+1, t.child(n, j+2))
+	}
+	t.setMeta(n, cnt-1, t.leaf(n))
+	h.Free(r, 64)
+}
+
+func (t *BTree) maxKey(n uint64) uint64 {
+	for !t.leaf(n) {
+		touch(t.h, n)
+		n = t.child(n, t.count(n))
+	}
+	touch(t.h, n)
+	return t.key(n, t.count(n)-1)
+}
+
+func (t *BTree) minKey(n uint64) uint64 {
+	for !t.leaf(n) {
+		touch(t.h, n)
+		n = t.child(n, 0)
+	}
+	touch(t.h, n)
+	return t.key(n, 0)
+}
+
+// Contains reports whether key is present.
+func (t *BTree) Contains(key uint64) bool {
+	n := t.h.Load(t.hdr)
+	for {
+		cnt := t.count(n)
+		i := 0
+		for i < cnt && key > t.key(n, i) {
+			i++
+		}
+		if i < cnt && key == t.key(n, i) {
+			return true
+		}
+		if t.leaf(n) {
+			return false
+		}
+		n = t.child(n, i)
+	}
+}
+
+// Check verifies key ordering, occupancy bounds, uniform leaf depth, and
+// the stored size.
+func (t *BTree) Check() error {
+	root := t.h.Load(t.hdr)
+	count, _, err := t.check(root, 1, ^uint64(0), true)
+	if err != nil {
+		return err
+	}
+	if got := t.Size(); got != count {
+		return errCount("btree size", got, count)
+	}
+	return nil
+}
+
+func (t *BTree) check(n, lo, hi uint64, isRoot bool) (count uint64, depth int, err error) {
+	cnt := t.count(n)
+	if cnt > 2*btDegree-1 {
+		return 0, 0, errf("btree node overfull (%d keys)", cnt)
+	}
+	if !isRoot && cnt < btDegree-1 {
+		return 0, 0, errf("btree node underfull (%d keys)", cnt)
+	}
+	prev := lo
+	for i := 0; i < cnt; i++ {
+		k := t.key(n, i)
+		if k < prev || k > hi {
+			return 0, 0, errf("btree key %d out of range [%d,%d]", k, prev, hi)
+		}
+		prev = k + 1
+	}
+	if t.leaf(n) {
+		return uint64(cnt), 1, nil
+	}
+	total := uint64(cnt)
+	childLo := lo
+	var d0 int
+	for i := 0; i <= cnt; i++ {
+		childHi := hi
+		if i < cnt {
+			childHi = t.key(n, i) - 1
+		}
+		c, d, err := t.check(t.child(n, i), childLo, childHi, false)
+		if err != nil {
+			return 0, 0, err
+		}
+		if i == 0 {
+			d0 = d
+		} else if d != d0 {
+			return 0, 0, errf("btree uneven leaf depth (%d vs %d)", d, d0)
+		}
+		total += c
+		if i < cnt {
+			childLo = t.key(n, i) + 1
+		}
+	}
+	return total, d0 + 1, nil
+}

@@ -1,0 +1,15 @@
+package pstruct
+
+import "fmt"
+
+func errLoop(what string) error {
+	return fmt.Errorf("pstruct: %s contains a cycle", what)
+}
+
+func errCount(what string, got, want uint64) error {
+	return fmt.Errorf("pstruct: %s mismatch: got %d, want %d", what, got, want)
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf("pstruct: "+format, args...)
+}

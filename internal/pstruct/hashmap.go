@@ -1,0 +1,132 @@
+package pstruct
+
+import "repro/internal/heap"
+
+// HashMap is a persistent chained hash map (the HM benchmark: insert or
+// delete entries in 16 hash maps). The bucket array is a persistent array
+// of head pointers; chain nodes are 64-byte lines.
+//
+// Node layout: [0] key, [8] value, [16] next.
+type HashMap struct {
+	h       *heap.Heap
+	buckets uint64
+	nBkt    uint64
+}
+
+const (
+	hmKey  = 0
+	hmVal  = 8
+	hmNext = 16
+)
+
+// NewHashMap allocates a map with nBuckets chains (rounded up to a power
+// of two).
+func NewHashMap(h *heap.Heap, nBuckets int) *HashMap {
+	n := uint64(1)
+	for n < uint64(nBuckets) {
+		n <<= 1
+	}
+	return &HashMap{h: h, buckets: h.Alloc(int(n) * 8), nBkt: n}
+}
+
+func (m *HashMap) bucketAddr(key uint64) uint64 {
+	// Fibonacci hashing spreads sequential keys.
+	idx := (key * 0x9E3779B97F4A7C15) >> 32 & (m.nBkt - 1)
+	return m.buckets + idx*8
+}
+
+// Insert adds key with value v, or updates the value when present. It
+// reports whether a new entry was created.
+func (m *HashMap) Insert(key, v uint64) bool {
+	h := m.h
+	ba := m.bucketAddr(key)
+	touch(h, ba) // the bucket word's line
+	n := h.Load(ba)
+	for n != 0 {
+		touch(h, n) // conservative: every visited chain node
+		if h.Load(n+hmKey) == key {
+			h.Store(n+hmVal, v)
+			return false
+		}
+		n = h.Load(n + hmNext)
+	}
+	nn := h.Alloc(64)
+	h.Store(nn+hmKey, key)
+	h.Store(nn+hmVal, v)
+	h.Store(nn+hmNext, h.Load(ba))
+	h.Store(ba, nn)
+	return true
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *HashMap) Delete(key uint64) bool {
+	h := m.h
+	ba := m.bucketAddr(key)
+	touch(h, ba)
+	prev := uint64(0)
+	n := h.Load(ba)
+	for n != 0 {
+		touch(h, n)
+		if h.Load(n+hmKey) == key {
+			next := h.Load(n + hmNext)
+			if prev == 0 {
+				h.Store(ba, next)
+			} else {
+				h.Store(prev+hmNext, next)
+			}
+			h.Free(n, 64)
+			return true
+		}
+		prev = n
+		n = h.Load(n + hmNext)
+	}
+	return false
+}
+
+// Lookup returns the value for key.
+func (m *HashMap) Lookup(key uint64) (uint64, bool) {
+	h := m.h
+	n := h.Load(m.bucketAddr(key))
+	for n != 0 {
+		if h.Load(n+hmKey) == key {
+			return h.Load(n + hmVal), true
+		}
+		n = h.Load(n + hmNext)
+	}
+	return 0, false
+}
+
+// Len counts entries (functional; tests only).
+func (m *HashMap) Len() uint64 {
+	h := m.h
+	var count uint64
+	for i := uint64(0); i < m.nBkt; i++ {
+		n := h.Load(m.buckets + i*8)
+		for n != 0 {
+			count++
+			n = h.Load(n + hmNext)
+		}
+	}
+	return count
+}
+
+// Check verifies that every chain terminates and keys hash to their
+// bucket.
+func (m *HashMap) Check() error {
+	h := m.h
+	for i := uint64(0); i < m.nBkt; i++ {
+		ba := m.buckets + i*8
+		n := h.Load(ba)
+		var steps uint64
+		for n != 0 {
+			if m.bucketAddr(h.Load(n+hmKey)) != ba {
+				return errf("hashmap key %d in wrong bucket", h.Load(n+hmKey))
+			}
+			if steps++; steps > 1<<24 {
+				return errLoop("hashmap chain")
+			}
+			n = h.Load(n + hmNext)
+		}
+	}
+	return nil
+}

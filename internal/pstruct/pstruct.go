@@ -1,0 +1,19 @@
+// Package pstruct implements the persistent data structures of Table 2 —
+// queue, hash map, string array, AVL tree, B-tree, and red-black tree —
+// plus the linked-list large-transaction microbenchmark of Table 3. All of
+// them operate on a simulated persistent heap (package heap): every field
+// access is an 8-byte heap load or store, nodes are 64 bytes and
+// line-aligned, and each structure declares its conservative undo-log set
+// via heap.LogHint before modifying anything (the set software logging
+// must persist in Figure 2's Step 1).
+package pstruct
+
+import "repro/internal/heap"
+
+// touch declares one 64-byte node as potentially modified by the current
+// transaction. The self-balancing trees touch every node they visit,
+// matching §5.2: "our manual undo-logging assumes the worst and logs all
+// nodes that could be modified by the operation".
+func touch(h *heap.Heap, addr uint64) {
+	h.LogHint(addr, 64)
+}

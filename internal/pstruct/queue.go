@@ -1,0 +1,97 @@
+package pstruct
+
+import "repro/internal/heap"
+
+// Queue is a persistent FIFO linked-list queue (the QE benchmark:
+// enqueue/dequeue in 8 queues). The header and each node occupy one
+// 64-byte line.
+//
+// Node layout: [0] value, [8] next.
+// Header layout: [0] head, [8] tail, [16] length.
+type Queue struct {
+	h   *heap.Heap
+	hdr uint64
+}
+
+const (
+	qVal  = 0
+	qNext = 8
+
+	qHead = 0
+	qTail = 8
+	qLen  = 16
+)
+
+// NewQueue allocates an empty queue on h.
+func NewQueue(h *heap.Heap) *Queue {
+	return &Queue{h: h, hdr: h.Alloc(64)}
+}
+
+// Len returns the number of elements.
+func (q *Queue) Len() uint64 { return q.h.Load(q.hdr + qLen) }
+
+// Enqueue appends v.
+func (q *Queue) Enqueue(v uint64) {
+	h := q.h
+	tail := h.Load(q.hdr + qTail)
+	// Conservative undo set: the header and the old tail node. The new
+	// node needs no undo entry (allocation is failure-safe and the node
+	// is unreachable until the header/tail update).
+	touch(h, q.hdr)
+	if tail != 0 {
+		touch(h, tail)
+	}
+	n := h.Alloc(64)
+	h.Store(n+qVal, v)
+	h.Store(n+qNext, 0)
+	if tail == 0 {
+		h.Store(q.hdr+qHead, n)
+	} else {
+		h.Store(tail+qNext, n)
+	}
+	h.Store(q.hdr+qTail, n)
+	h.Store(q.hdr+qLen, h.Load(q.hdr+qLen)+1)
+}
+
+// Dequeue removes and returns the oldest element; ok is false when empty.
+func (q *Queue) Dequeue() (v uint64, ok bool) {
+	h := q.h
+	head := h.Load(q.hdr + qHead)
+	if head == 0 {
+		return 0, false
+	}
+	touch(h, q.hdr)
+	touch(h, head)
+	v = h.Load(head + qVal)
+	next := h.Load(head + qNext)
+	h.Store(q.hdr+qHead, next)
+	if next == 0 {
+		h.Store(q.hdr+qTail, 0)
+	}
+	h.Store(q.hdr+qLen, h.Load(q.hdr+qLen)-1)
+	h.Free(head, 64)
+	return v, true
+}
+
+// Check verifies the queue's structural invariants functionally (used by
+// tests and the recovery verifier).
+func (q *Queue) Check() error {
+	h := q.h
+	n := h.Load(q.hdr + qHead)
+	var count, last uint64
+	for n != 0 {
+		count++
+		last = n
+		n = h.Load(n + qNext)
+		if count > 1<<30 {
+			return errLoop("queue")
+		}
+	}
+	if got := h.Load(q.hdr + qLen); got != count {
+		return errCount("queue length", got, count)
+	}
+	if tail := h.Load(q.hdr + qTail); tail != last {
+		return errCount("queue tail", tail, last)
+	}
+	return nil
+}

@@ -1,0 +1,442 @@
+package pstruct
+
+import "repro/internal/heap"
+
+// RBTree is a persistent red-black tree (the RT benchmark: insert or
+// delete nodes in 16 RB trees). Nodes are 64-byte lines.
+//
+// Node layout: [0] key, [8] value, [16] left, [24] right, [32] parent,
+// [40] color (0 black, 1 red).
+// Header layout: [0] root, [8] size.
+type RBTree struct {
+	h   *heap.Heap
+	hdr uint64
+}
+
+const (
+	rbKey    = 0
+	rbVal    = 8
+	rbLeft   = 16
+	rbRight  = 24
+	rbParent = 32
+	rbColor  = 40
+
+	black = 0
+	red   = 1
+)
+
+// NewRBTree allocates an empty tree.
+func NewRBTree(h *heap.Heap) *RBTree {
+	return &RBTree{h: h, hdr: h.Alloc(64)}
+}
+
+// Size returns the number of nodes.
+func (t *RBTree) Size() uint64 { return t.h.Load(t.hdr + 8) }
+
+func (t *RBTree) color(n uint64) uint64 {
+	if n == 0 {
+		return black
+	}
+	return t.h.Load(n + rbColor)
+}
+
+func (t *RBTree) setColor(n, c uint64) {
+	if n != 0 {
+		t.h.Store(n+rbColor, c)
+	}
+}
+
+func (t *RBTree) root() uint64 { return t.h.Load(t.hdr) }
+
+func (t *RBTree) setRoot(n uint64) { t.h.Store(t.hdr, n) }
+
+func (t *RBTree) rotateLeft(x uint64) {
+	h := t.h
+	y := h.Load(x + rbRight)
+	touch(h, x)
+	touch(h, y)
+	yl := h.Load(y + rbLeft)
+	h.Store(x+rbRight, yl)
+	if yl != 0 {
+		touch(h, yl)
+		h.Store(yl+rbParent, x)
+	}
+	p := h.Load(x + rbParent)
+	h.Store(y+rbParent, p)
+	if p == 0 {
+		t.setRoot(y)
+	} else {
+		touch(h, p)
+		if h.Load(p+rbLeft) == x {
+			h.Store(p+rbLeft, y)
+		} else {
+			h.Store(p+rbRight, y)
+		}
+	}
+	h.Store(y+rbLeft, x)
+	h.Store(x+rbParent, y)
+}
+
+func (t *RBTree) rotateRight(x uint64) {
+	h := t.h
+	y := h.Load(x + rbLeft)
+	touch(h, x)
+	touch(h, y)
+	yr := h.Load(y + rbRight)
+	h.Store(x+rbLeft, yr)
+	if yr != 0 {
+		touch(h, yr)
+		h.Store(yr+rbParent, x)
+	}
+	p := h.Load(x + rbParent)
+	h.Store(y+rbParent, p)
+	if p == 0 {
+		t.setRoot(y)
+	} else {
+		touch(h, p)
+		if h.Load(p+rbRight) == x {
+			h.Store(p+rbRight, y)
+		} else {
+			h.Store(p+rbLeft, y)
+		}
+	}
+	h.Store(y+rbRight, x)
+	h.Store(x+rbParent, y)
+}
+
+// Insert adds key/val, reporting whether a new node was created.
+func (t *RBTree) Insert(key, val uint64) bool {
+	h := t.h
+	touch(h, t.hdr)
+	var parent uint64
+	n := t.root()
+	for n != 0 {
+		touch(h, n) // conservative: the search path may recolor/rotate
+		parent = n
+		k := h.Load(n + rbKey)
+		switch {
+		case key < k:
+			n = h.Load(n + rbLeft)
+		case key > k:
+			n = h.Load(n + rbRight)
+		default:
+			h.Store(n+rbVal, val)
+			return false
+		}
+	}
+	nn := h.Alloc(64)
+	h.Store(nn+rbKey, key)
+	h.Store(nn+rbVal, val)
+	h.Store(nn+rbLeft, 0)
+	h.Store(nn+rbRight, 0)
+	h.Store(nn+rbParent, parent)
+	h.Store(nn+rbColor, red)
+	if parent == 0 {
+		t.setRoot(nn)
+	} else if key < h.Load(parent+rbKey) {
+		h.Store(parent+rbLeft, nn)
+	} else {
+		h.Store(parent+rbRight, nn)
+	}
+	t.insertFixup(nn)
+	h.Store(t.hdr+8, h.Load(t.hdr+8)+1)
+	return true
+}
+
+func (t *RBTree) insertFixup(z uint64) {
+	h := t.h
+	for {
+		p := h.Load(z + rbParent)
+		if p == 0 || t.color(p) == black {
+			break
+		}
+		touch(h, p)
+		g := h.Load(p + rbParent)
+		touch(h, g)
+		if p == h.Load(g+rbLeft) {
+			u := h.Load(g + rbRight)
+			if t.color(u) == red {
+				touch(h, u)
+				t.setColor(p, black)
+				t.setColor(u, black)
+				t.setColor(g, red)
+				z = g
+				continue
+			}
+			if z == h.Load(p+rbRight) {
+				z = p
+				t.rotateLeft(z)
+				p = h.Load(z + rbParent)
+				g = h.Load(p + rbParent)
+			}
+			t.setColor(p, black)
+			t.setColor(g, red)
+			t.rotateRight(g)
+		} else {
+			u := h.Load(g + rbLeft)
+			if t.color(u) == red {
+				touch(h, u)
+				t.setColor(p, black)
+				t.setColor(u, black)
+				t.setColor(g, red)
+				z = g
+				continue
+			}
+			if z == h.Load(p+rbLeft) {
+				z = p
+				t.rotateRight(z)
+				p = h.Load(z + rbParent)
+				g = h.Load(p + rbParent)
+			}
+			t.setColor(p, black)
+			t.setColor(g, red)
+			t.rotateLeft(g)
+		}
+	}
+	t.setColor(t.root(), black)
+}
+
+// transplant replaces subtree u with subtree v.
+func (t *RBTree) transplant(u, v uint64) {
+	h := t.h
+	p := h.Load(u + rbParent)
+	if p == 0 {
+		t.setRoot(v)
+	} else {
+		touch(h, p)
+		if h.Load(p+rbLeft) == u {
+			h.Store(p+rbLeft, v)
+		} else {
+			h.Store(p+rbRight, v)
+		}
+	}
+	if v != 0 {
+		touch(h, v)
+		h.Store(v+rbParent, p)
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *RBTree) Delete(key uint64) bool {
+	h := t.h
+	touch(h, t.hdr)
+	z := t.root()
+	for z != 0 {
+		touch(h, z)
+		k := h.Load(z + rbKey)
+		if key < k {
+			z = h.Load(z + rbLeft)
+		} else if key > k {
+			z = h.Load(z + rbRight)
+		} else {
+			break
+		}
+	}
+	if z == 0 {
+		return false
+	}
+
+	y := z
+	yColor := t.color(y)
+	var x, xParent uint64
+	switch {
+	case h.Load(z+rbLeft) == 0:
+		x = h.Load(z + rbRight)
+		xParent = h.Load(z + rbParent)
+		t.transplant(z, x)
+	case h.Load(z+rbRight) == 0:
+		x = h.Load(z + rbLeft)
+		xParent = h.Load(z + rbParent)
+		t.transplant(z, x)
+	default:
+		// Successor: minimum of the right subtree.
+		y = h.Load(z + rbRight)
+		for {
+			touch(h, y)
+			l := h.Load(y + rbLeft)
+			if l == 0 {
+				break
+			}
+			y = l
+		}
+		yColor = t.color(y)
+		x = h.Load(y + rbRight)
+		if h.Load(y+rbParent) == z {
+			xParent = y
+		} else {
+			xParent = h.Load(y + rbParent)
+			t.transplant(y, x)
+			zr := h.Load(z + rbRight)
+			h.Store(y+rbRight, zr)
+			touch(h, zr)
+			h.Store(zr+rbParent, y)
+		}
+		t.transplant(z, y)
+		zl := h.Load(z + rbLeft)
+		h.Store(y+rbLeft, zl)
+		touch(h, zl)
+		h.Store(zl+rbParent, y)
+		t.setColor(y, t.color(z))
+	}
+	h.Free(z, 64)
+	if yColor == black {
+		t.deleteFixup(x, xParent)
+	}
+	h.Store(t.hdr+8, h.Load(t.hdr+8)-1)
+	return true
+}
+
+func (t *RBTree) deleteFixup(x, xParent uint64) {
+	h := t.h
+	for x != t.root() && t.color(x) == black {
+		if xParent == 0 {
+			break
+		}
+		touch(h, xParent)
+		if x == h.Load(xParent+rbLeft) {
+			w := h.Load(xParent + rbRight)
+			touch(h, w)
+			if t.color(w) == red {
+				t.setColor(w, black)
+				t.setColor(xParent, red)
+				t.rotateLeft(xParent)
+				w = h.Load(xParent + rbRight)
+				touch(h, w)
+			}
+			if t.color(h.Load(w+rbLeft)) == black && t.color(h.Load(w+rbRight)) == black {
+				t.setColor(w, red)
+				x = xParent
+				xParent = h.Load(x + rbParent)
+			} else {
+				if t.color(h.Load(w+rbRight)) == black {
+					wl := h.Load(w + rbLeft)
+					touch(h, wl)
+					t.setColor(wl, black)
+					t.setColor(w, red)
+					t.rotateRight(w)
+					w = h.Load(xParent + rbRight)
+					touch(h, w)
+				}
+				t.setColor(w, t.color(xParent))
+				t.setColor(xParent, black)
+				wr := h.Load(w + rbRight)
+				touch(h, wr)
+				t.setColor(wr, black)
+				t.rotateLeft(xParent)
+				x = t.root()
+				xParent = 0
+			}
+		} else {
+			w := h.Load(xParent + rbLeft)
+			touch(h, w)
+			if t.color(w) == red {
+				t.setColor(w, black)
+				t.setColor(xParent, red)
+				t.rotateRight(xParent)
+				w = h.Load(xParent + rbLeft)
+				touch(h, w)
+			}
+			if t.color(h.Load(w+rbRight)) == black && t.color(h.Load(w+rbLeft)) == black {
+				t.setColor(w, red)
+				x = xParent
+				xParent = h.Load(x + rbParent)
+			} else {
+				if t.color(h.Load(w+rbLeft)) == black {
+					wr := h.Load(w + rbRight)
+					touch(h, wr)
+					t.setColor(wr, black)
+					t.setColor(w, red)
+					t.rotateLeft(w)
+					w = h.Load(xParent + rbLeft)
+					touch(h, w)
+				}
+				t.setColor(w, t.color(xParent))
+				t.setColor(xParent, black)
+				wl := h.Load(w + rbLeft)
+				touch(h, wl)
+				t.setColor(wl, black)
+				t.rotateRight(xParent)
+				x = t.root()
+				xParent = 0
+			}
+		}
+	}
+	if x != 0 {
+		touch(t.h, x)
+	}
+	t.setColor(x, black)
+}
+
+// Lookup returns the value for key.
+func (t *RBTree) Lookup(key uint64) (uint64, bool) {
+	h := t.h
+	n := t.root()
+	for n != 0 {
+		k := h.Load(n + rbKey)
+		switch {
+		case key < k:
+			n = h.Load(n + rbLeft)
+		case key > k:
+			n = h.Load(n + rbRight)
+		default:
+			return h.Load(n + rbVal), true
+		}
+	}
+	return 0, false
+}
+
+// Check verifies ordering, parent pointers, the red-red exclusion and the
+// equal-black-height invariant, and the stored size.
+func (t *RBTree) Check() error {
+	root := t.root()
+	if t.color(root) != black {
+		return errf("rbtree root is red")
+	}
+	if root != 0 && t.h.Load(root+rbParent) != 0 {
+		return errf("rbtree root has a parent")
+	}
+	count, _, err := t.check(root, 0, ^uint64(0))
+	if err != nil {
+		return err
+	}
+	if got := t.Size(); got != count {
+		return errCount("rbtree size", got, count)
+	}
+	return nil
+}
+
+func (t *RBTree) check(n, lo, hi uint64) (count, blackHeight uint64, err error) {
+	if n == 0 {
+		return 0, 1, nil
+	}
+	h := t.h
+	k := h.Load(n + rbKey)
+	if k < lo || k > hi {
+		return 0, 0, errf("rbtree key %d out of range [%d,%d]", k, lo, hi)
+	}
+	l, r := h.Load(n+rbLeft), h.Load(n+rbRight)
+	if t.color(n) == red && (t.color(l) == red || t.color(r) == red) {
+		return 0, 0, errf("rbtree red-red violation at key %d", k)
+	}
+	for _, ch := range []uint64{l, r} {
+		if ch != 0 && h.Load(ch+rbParent) != n {
+			return 0, 0, errf("rbtree bad parent pointer under key %d", k)
+		}
+	}
+	lc, lb, err := t.check(l, lo, k-1)
+	if err != nil {
+		return 0, 0, err
+	}
+	rc, rb, err := t.check(r, k+1, hi)
+	if err != nil {
+		return 0, 0, err
+	}
+	if lb != rb {
+		return 0, 0, errf("rbtree black-height mismatch at key %d (%d vs %d)", k, lb, rb)
+	}
+	bh := lb
+	if t.color(n) == black {
+		bh++
+	}
+	return lc + rc + 1, bh, nil
+}

@@ -1,0 +1,70 @@
+package pstruct
+
+import "repro/internal/heap"
+
+// StringArray is the SS benchmark substrate: an array of fixed-size
+// strings (256 bytes each in Table 2); the operation swaps two strings.
+type StringArray struct {
+	h       *heap.Heap
+	base    uint64
+	n       int
+	strSize int
+}
+
+// NewStringArray allocates n strings of strSize bytes, each initialized to
+// a distinct pattern.
+func NewStringArray(h *heap.Heap, n, strSize int) *StringArray {
+	a := &StringArray{h: h, base: h.Alloc(n * strSize), n: n, strSize: strSize}
+	for i := 0; i < n; i++ {
+		addr := a.addr(i)
+		for w := 0; w < strSize/8; w++ {
+			h.Store(addr+uint64(w*8), uint64(i)<<16|uint64(w))
+		}
+	}
+	return a
+}
+
+func (a *StringArray) addr(i int) uint64 { return a.base + uint64(i*a.strSize) }
+
+// Len returns the number of strings.
+func (a *StringArray) Len() int { return a.n }
+
+// Swap exchanges strings i and j word by word.
+func (a *StringArray) Swap(i, j int) {
+	h := a.h
+	ai, aj := a.addr(i), a.addr(j)
+	h.LogHint(ai, a.strSize)
+	h.LogHint(aj, a.strSize)
+	for w := 0; w < a.strSize/8; w++ {
+		off := uint64(w * 8)
+		vi := h.Load(ai + off)
+		vj := h.Load(aj + off)
+		h.Store(ai+off, vj)
+		h.Store(aj+off, vi)
+	}
+}
+
+// Word returns word w of string i (tests).
+func (a *StringArray) Word(i, w int) uint64 {
+	return a.h.Load(a.addr(i) + uint64(w*8))
+}
+
+// Check verifies that the array still holds a permutation of the initial
+// strings (each string's words share a consistent string tag).
+func (a *StringArray) Check() error {
+	seen := make(map[uint64]bool, a.n)
+	for i := 0; i < a.n; i++ {
+		tag := a.Word(i, 0) >> 16
+		for w := 0; w < a.strSize/8; w++ {
+			v := a.Word(i, w)
+			if v>>16 != tag || v&0xFFFF != uint64(w) {
+				return errf("stringswap: string %d torn at word %d (tag %d, got %#x)", i, w, tag, v)
+			}
+		}
+		if seen[tag] {
+			return errf("stringswap: duplicate string tag %d", tag)
+		}
+		seen[tag] = true
+	}
+	return nil
+}

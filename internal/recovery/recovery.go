@@ -1,0 +1,200 @@
+// Package recovery implements post-crash recovery for every failure-safe
+// logging scheme and the oracle-based verifier that checks transaction
+// atomicity on recovered images.
+//
+// A crash image is the persistent state a power failure leaves behind
+// (NVM contents plus WPQ/LPQ contents under ADR, see memctrl.CrashImage).
+// Recovery scans each thread's log area and rolls back in-flight
+// transactions:
+//
+//   - Software logging (PMEM): the per-thread logFlag holds the in-flight
+//     transaction ID and entry count (Figure 2). A nonzero flag means the
+//     transaction did not commit: its undo entries are applied and the
+//     flag cleared.
+//   - Proteus: undo entries carry transaction IDs; only entries belonging
+//     to the most recent (per thread) transactions that lack a durable
+//     transaction-end mark are valid (§4.3). Uncommitted transactions are
+//     rolled back newest-first; within a transaction the earliest entry
+//     per address wins (§4.2), which the program-order sequence number in
+//     the entry metadata realizes.
+//   - ATOM: all non-truncated entries belong to in-flight transactions and
+//     are applied newest-transaction-first.
+package recovery
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/logfmt"
+	"repro/internal/nvm"
+)
+
+// Result summarizes a recovery pass.
+type Result struct {
+	// RolledBack lists, per thread, the transaction IDs that were undone.
+	RolledBack [][]uint32
+	// EntriesApplied counts undo entries written back.
+	EntriesApplied int
+}
+
+// Recover runs the scheme's recovery protocol over the crash image for the
+// given number of threads, mutating img into the recovered state.
+func Recover(img *nvm.Store, scheme core.Scheme, threads int) (*Result, error) {
+	res := &Result{RolledBack: make([][]uint32, threads)}
+	for t := 0; t < threads; t++ {
+		var (
+			undone []uint32
+			n      int
+			err    error
+		)
+		switch scheme {
+		case core.PMEM, core.PMEMPcommit:
+			undone, n, err = recoverSW(img, t)
+		case core.Proteus, core.ProteusNoLWR:
+			undone, n, err = recoverProteus(img, t)
+		case core.ATOM:
+			undone, n, err = recoverATOM(img, t)
+		case core.PMEMNoLog:
+			// Not failure safe: nothing to recover with.
+		default:
+			return nil, fmt.Errorf("recovery: unknown scheme %v", scheme)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("recovery: thread %d: %w", t, err)
+		}
+		res.RolledBack[t] = undone
+		res.EntriesApplied += n
+	}
+	return res, nil
+}
+
+// recoverSW implements the Figure 2 protocol.
+func recoverSW(img *nvm.Store, thread int) ([]uint32, int, error) {
+	flagAddr := logfmt.LogFlagAddr(thread)
+	flag := img.ReadUint64(flagAddr)
+	if flag == 0 {
+		return nil, 0, nil // no transaction in flight
+	}
+	tx, count := logfmt.UnpackLogFlag(flag)
+	base := logfmt.SWLogBase(thread)
+	applied := 0
+	// Undo in reverse entry order.
+	for i := count - 1; i >= 0; i-- {
+		metaAddr := base + uint64(i)*logfmt.PairEntrySize
+		meta, ok := logfmt.DecodePairMeta(img.Read(metaAddr, isa.LineSize))
+		if !ok {
+			return nil, 0, fmt.Errorf("sw log entry %d invalid at %#x", i, metaAddr)
+		}
+		if meta.Tx != uint64(tx) {
+			// Entry from an older transaction: the crash hit during
+			// Step 1, before this transaction's entry was written. The
+			// flag would still be 0 then, so this is corruption.
+			return nil, 0, fmt.Errorf("sw log entry %d has tx %d, flag says %d", i, meta.Tx, tx)
+		}
+		data := img.Read(metaAddr+isa.LineSize, int(meta.Len))
+		img.Write(meta.From, data)
+		applied++
+	}
+	img.WriteUint64(flagAddr, 0)
+	return []uint32{tx}, applied, nil
+}
+
+// proteusEntry pairs a decoded entry with its location.
+type proteusEntry struct {
+	at uint64
+	e  logfmt.ProteusEntry
+}
+
+// recoverProteus implements the §4.3 validity rule with the descending
+// walk over the in-flight transaction chain.
+func recoverProteus(img *nvm.Store, thread int) ([]uint32, int, error) {
+	base, limit := isa.LogWindow(thread)
+	byTx := make(map[uint32][]proteusEntry)
+	marked := make(map[uint32]bool)
+	var maxTx uint32
+	for _, line := range img.LinesIn(base, limit) {
+		e, ok := logfmt.DecodeProteus(img.Read(line, isa.LineSize))
+		if !ok {
+			continue
+		}
+		byTx[e.Tx] = append(byTx[e.Tx], proteusEntry{at: line, e: e})
+		if e.Last {
+			marked[e.Tx] = true
+		}
+		if e.Tx > maxTx {
+			maxTx = e.Tx
+		}
+	}
+	if maxTx == 0 {
+		return nil, 0, nil
+	}
+	var undone []uint32
+	applied := 0
+	// Walk the contiguous chain of recent transactions, newest first.
+	// A transaction with a durable end mark committed — it and everything
+	// older is durable. A missing transaction ID means no older
+	// transaction can have durable-but-unlogged state (a store is durable
+	// only after its log entry is), so the walk stops.
+	for tx := maxTx; tx > 0; tx-- {
+		entries, present := byTx[tx]
+		if !present {
+			break
+		}
+		if marked[tx] {
+			break // committed; all older transactions committed earlier
+		}
+		// Roll back: apply entries newest-first so the earliest entry per
+		// address wins (§4.2).
+		sort.Slice(entries, func(i, j int) bool { return entries[i].e.Seq > entries[j].e.Seq })
+		for _, pe := range entries {
+			img.Write(pe.e.From, pe.e.Data[:])
+			// Invalidate the entry so a second crash during recovery
+			// cannot replay it against newer state.
+			var zero [isa.LineSize]byte
+			img.Write(pe.at, zero[:])
+			applied++
+		}
+		undone = append(undone, tx)
+	}
+	return undone, applied, nil
+}
+
+// recoverATOM applies all non-truncated entries, newest transaction first.
+func recoverATOM(img *nvm.Store, thread int) ([]uint32, int, error) {
+	base, limit := isa.LogWindow(thread)
+	type entry struct {
+		metaAt uint64
+		e      logfmt.PairEntry
+	}
+	byTx := make(map[uint64][]entry)
+	var txs []uint64
+	for _, line := range img.LinesIn(base, limit) {
+		if (line-base)%logfmt.PairEntrySize != 0 {
+			continue // data line
+		}
+		e, ok := logfmt.DecodePairMeta(img.Read(line, isa.LineSize))
+		if !ok {
+			continue // truncated or never written
+		}
+		if _, seen := byTx[e.Tx]; !seen {
+			txs = append(txs, e.Tx)
+		}
+		byTx[e.Tx] = append(byTx[e.Tx], entry{metaAt: line, e: e})
+	}
+	sort.Slice(txs, func(i, j int) bool { return txs[i] > txs[j] })
+	var undone []uint32
+	applied := 0
+	for _, tx := range txs {
+		for _, en := range byTx[tx] {
+			data := img.Read(en.metaAt+isa.LineSize, int(en.e.Len))
+			img.Write(en.e.From, data)
+			var zero [isa.LineSize]byte
+			img.Write(en.metaAt, zero[:])
+			applied++
+		}
+		undone = append(undone, uint32(tx))
+	}
+	return undone, applied, nil
+}

@@ -1,0 +1,223 @@
+package recovery
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/logfmt"
+	"repro/internal/nvm"
+)
+
+// writeProteusEntry puts an encoded entry at slot i of thread t's log area.
+func writeProteusEntry(img *nvm.Store, thread, slot int, e logfmt.ProteusEntry) {
+	base, _ := isa.LogWindow(thread)
+	line := logfmt.EncodeProteus(e)
+	img.Write(base+uint64(slot)*isa.LineSize, line[:])
+}
+
+func block32(vals ...uint64) (out [isa.LogBlockSize]byte) {
+	for i, v := range vals {
+		for b := 0; b < 8; b++ {
+			out[i*8+b] = byte(v >> (8 * b))
+		}
+	}
+	return
+}
+
+// TestProteusRollbackUncommitted: entries of an unmarked (uncommitted)
+// transaction are applied; the data reverts.
+func TestProteusRollbackUncommitted(t *testing.T) {
+	img := nvm.NewStore()
+	dataAddr := uint64(isa.HeapBase + 0x1000)
+	img.WriteUint64(dataAddr, 999) // the torn new value
+
+	writeProteusEntry(img, 0, 0, logfmt.ProteusEntry{
+		Data: block32(111, 222, 333, 444), From: dataAddr, Tx: 5, Seq: 1,
+	})
+	res, err := Recover(img, core.Proteus, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RolledBack[0]) != 1 || res.RolledBack[0][0] != 5 {
+		t.Fatalf("rolled back: %v", res.RolledBack)
+	}
+	if got := img.ReadUint64(dataAddr); got != 111 {
+		t.Fatalf("word not restored: %d", got)
+	}
+	if got := img.ReadUint64(dataAddr + 8); got != 222 {
+		t.Fatalf("second word not restored: %d", got)
+	}
+}
+
+// TestProteusCommittedNotRolledBack: a transaction whose last entry carries
+// the end mark is durable; nothing is undone.
+func TestProteusCommittedNotRolledBack(t *testing.T) {
+	img := nvm.NewStore()
+	dataAddr := uint64(isa.HeapBase + 0x2000)
+	img.WriteUint64(dataAddr, 42)
+	writeProteusEntry(img, 0, 0, logfmt.ProteusEntry{
+		Data: block32(1), From: dataAddr, Tx: 7, Seq: 1, Last: true,
+	})
+	res, err := Recover(img, core.Proteus, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RolledBack[0]) != 0 {
+		t.Fatalf("committed txn rolled back: %v", res.RolledBack)
+	}
+	if img.ReadUint64(dataAddr) != 42 {
+		t.Fatal("data clobbered")
+	}
+}
+
+// TestProteusEarliestEntryWins: with duplicate log-from addresses in one
+// transaction (LLT eviction re-logging, §4.2), the earliest entry's
+// pre-image must end up in memory.
+func TestProteusEarliestEntryWins(t *testing.T) {
+	img := nvm.NewStore()
+	dataAddr := uint64(isa.HeapBase + 0x3000)
+	img.WriteUint64(dataAddr, 999)
+	// Entry seq 1 holds the true pre-image (100); seq 9 holds a mid-
+	// transaction value (555).
+	writeProteusEntry(img, 0, 0, logfmt.ProteusEntry{Data: block32(100), From: dataAddr, Tx: 3, Seq: 1})
+	writeProteusEntry(img, 0, 1, logfmt.ProteusEntry{Data: block32(555), From: dataAddr, Tx: 3, Seq: 9})
+	if _, err := Recover(img, core.Proteus, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := img.ReadUint64(dataAddr); got != 100 {
+		t.Fatalf("got %d, want the earliest pre-image 100", got)
+	}
+}
+
+// TestProteusChainRollback: two uncommitted transactions in flight (the
+// dispatch-overlap case) are both undone, newest first; an older committed
+// transaction with a drained stray entry is left alone because the chain
+// walk stops at the first absent transaction ID.
+func TestProteusChainRollback(t *testing.T) {
+	img := nvm.NewStore()
+	a := uint64(isa.HeapBase + 0x100)
+	b := uint64(isa.HeapBase + 0x200)
+	c := uint64(isa.HeapBase + 0x300)
+	img.WriteUint64(a, 1000)
+	img.WriteUint64(b, 2000)
+	img.WriteUint64(c, 3000)
+
+	// Txn 2 (committed long ago): one stray overflow-drained entry with
+	// pre-image 7 — must NOT be applied.
+	writeProteusEntry(img, 0, 0, logfmt.ProteusEntry{Data: block32(7), From: c, Tx: 2, Seq: 2})
+	// Txns 4 and 5 in flight at the crash (txn 3 left no entries).
+	writeProteusEntry(img, 0, 1, logfmt.ProteusEntry{Data: block32(10), From: a, Tx: 4, Seq: 10})
+	writeProteusEntry(img, 0, 2, logfmt.ProteusEntry{Data: block32(20), From: b, Tx: 5, Seq: 11})
+
+	res, err := Recover(img, core.Proteus, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.RolledBack[0]; len(got) != 2 || got[0] != 5 || got[1] != 4 {
+		t.Fatalf("rolled back %v, want [5 4]", got)
+	}
+	if img.ReadUint64(a) != 10 || img.ReadUint64(b) != 20 {
+		t.Fatal("in-flight txns not undone")
+	}
+	if img.ReadUint64(c) != 3000 {
+		t.Fatal("stray entry of committed txn 2 was applied")
+	}
+}
+
+// TestSWRecovery: the logFlag protocol.
+func TestSWRecovery(t *testing.T) {
+	img := nvm.NewStore()
+	dataAddr := uint64(isa.HeapBase + 0x4000)
+	img.WriteUint64(dataAddr, 999)
+
+	base := logfmt.SWLogBase(0)
+	meta := logfmt.EncodePairMeta(logfmt.PairEntry{From: dataAddr, Tx: 6, Len: isa.LineSize})
+	img.Write(base, meta[:])
+	var data [isa.LineSize]byte
+	data[0] = 77
+	img.Write(base+isa.LineSize, data[:])
+	img.WriteUint64(logfmt.LogFlagAddr(0), logfmt.PackLogFlag(6, 1))
+
+	res, err := Recover(img, core.PMEM, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RolledBack[0]) != 1 || res.RolledBack[0][0] != 6 {
+		t.Fatalf("rolled back %v", res.RolledBack)
+	}
+	if got := img.Read(dataAddr, 1)[0]; got != 77 {
+		t.Fatalf("byte %d", got)
+	}
+	if img.ReadUint64(logfmt.LogFlagAddr(0)) != 0 {
+		t.Fatal("logFlag not cleared")
+	}
+	// Recovery with a clear flag does nothing.
+	img.WriteUint64(dataAddr, 5)
+	if res, err := Recover(img, core.PMEM, 1); err != nil || len(res.RolledBack[0]) != 0 {
+		t.Fatalf("idle recovery acted: %v %v", res.RolledBack, err)
+	}
+}
+
+// TestATOMRecovery: valid pair entries are applied; zeroed (truncated)
+// entries are not.
+func TestATOMRecovery(t *testing.T) {
+	img := nvm.NewStore()
+	a := uint64(isa.HeapBase + 0x5000)
+	b := uint64(isa.HeapBase + 0x5040)
+	img.WriteUint64(a, 999)
+	img.WriteUint64(b, 888)
+
+	base, _ := isa.LogWindow(0)
+	// Valid entry for a (txn 9).
+	meta := logfmt.EncodePairMeta(logfmt.PairEntry{From: a, Tx: 9, Len: isa.LineSize})
+	img.Write(base, meta[:])
+	var data [isa.LineSize]byte
+	data[0] = 11
+	img.Write(base+isa.LineSize, data[:])
+	// Truncated (zeroed) entry for b.
+	var zero [isa.LineSize]byte
+	img.Write(base+2*isa.LineSize, zero[:])
+
+	res, err := Recover(img, core.ATOM, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RolledBack[0]) != 1 || res.RolledBack[0][0] != 9 {
+		t.Fatalf("rolled back %v", res.RolledBack)
+	}
+	if got := img.Read(a, 1)[0]; got != 11 {
+		t.Fatalf("a not restored: %d", got)
+	}
+	if img.ReadUint64(b) != 888 {
+		t.Fatal("b clobbered by truncated entry")
+	}
+}
+
+// TestNoLogRecoveryIsNoop: the unsafe scheme has no recovery protocol.
+func TestNoLogRecoveryIsNoop(t *testing.T) {
+	img := nvm.NewStore()
+	img.WriteUint64(isa.HeapBase, 1)
+	res, err := Recover(img, core.PMEMNoLog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EntriesApplied != 0 {
+		t.Fatal("nolog recovery applied entries")
+	}
+}
+
+// TestEmptyImageRecovery: recovery over a pristine image does nothing for
+// any scheme.
+func TestEmptyImageRecovery(t *testing.T) {
+	for _, s := range core.Schemes {
+		img := nvm.NewStore()
+		res, err := Recover(img, s, 4)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if res.EntriesApplied != 0 {
+			t.Fatalf("%v applied %d entries to an empty image", s, res.EntriesApplied)
+		}
+	}
+}

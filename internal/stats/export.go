@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Export helpers: the experiment tables render to CSV and JSON so results
+// can be plotted outside the harness.
+
+// WriteCSV emits the table as CSV: a header row of RowName plus columns,
+// then one row per benchmark.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{t.RowName}, t.Cols...)); err != nil {
+		return err
+	}
+	for i, r := range t.Rows {
+		rec := make([]string, 0, len(t.Cols)+1)
+		rec = append(rec, r)
+		for j := range t.Cols {
+			rec = append(rec, strconv.FormatFloat(t.Cells[i][j], 'g', 6, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// tableJSON is the JSON shape of a table.
+type tableJSON struct {
+	Title string               `json:"title"`
+	Rows  []string             `json:"rows"`
+	Cols  []string             `json:"cols"`
+	Cells map[string][]float64 `json:"cells"` // row -> values per column
+}
+
+// MarshalJSON renders the table as a stable JSON document.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	out := tableJSON{Title: t.Title, Rows: t.Rows, Cols: t.Cols, Cells: make(map[string][]float64, len(t.Rows))}
+	for i, r := range t.Rows {
+		out.Cells[r] = append([]float64(nil), t.Cells[i]...)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON parses a table produced by MarshalJSON.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var in tableJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	t.Title, t.Rows, t.Cols = in.Title, in.Rows, in.Cols
+	if t.RowName == "" {
+		t.RowName = "row"
+	}
+	t.Cells = make([][]float64, len(in.Rows))
+	for i, r := range in.Rows {
+		vals, ok := in.Cells[r]
+		if !ok || len(vals) != len(in.Cols) {
+			return fmt.Errorf("stats: row %q missing or malformed in JSON table", r)
+		}
+		t.Cells[i] = append([]float64(nil), vals...)
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("geomean(2,8) = %v", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("geomean(nil) = %v", g)
+	}
+	if g := GeoMean([]float64{1, -1}); g != 0 {
+		t.Fatalf("geomean with negative = %v", g)
+	}
+	// Scale invariance: geomean(kx) = k*geomean(x).
+	prop := func(a, b uint8) bool {
+		x := []float64{float64(a) + 1, float64(b) + 1}
+		g1 := GeoMean(x)
+		g2 := GeoMean([]float64{x[0] * 3, x[1] * 3})
+		return math.Abs(g2-3*g1) < 1e-9*g2
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := &Report{Cycles: 1000}
+	fast := &Report{Cycles: 500}
+	if s := fast.Speedup(base); s != 2 {
+		t.Fatalf("speedup %v", s)
+	}
+	if s := base.Speedup(base); s != 1 {
+		t.Fatalf("self speedup %v", s)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := NewTable("title", "bench", []string{"A", "B"}, []string{"x", "y"})
+	tab.Set("A", "x", 1.5)
+	tab.Set("B", "y", 2.5)
+	if tab.Get("A", "x") != 1.5 {
+		t.Fatal("get/set mismatch")
+	}
+	tab.AddGeoMeanRow()
+	out := tab.String()
+	for _, want := range []string{"title", "bench", "A", "B", "geomean", "1.500"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableUnknownCellPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on unknown cell")
+		}
+	}()
+	NewTable("", "r", []string{"a"}, []string{"b"}).Set("nope", "b", 1)
+}
+
+func TestCoreStallAggregation(t *testing.T) {
+	var c Core
+	c.StallCycles[StallROB] = 10
+	c.StallCycles[StallLogQ] = 5
+	c.StallCycles[StallDrained] = 100 // not a resource stall
+	if got := c.FrontEndStalls(); got != 15 {
+		t.Fatalf("front-end stalls %d", got)
+	}
+}
+
+func TestLLTMissRate(t *testing.T) {
+	var c Core
+	if c.LLTMissRate() != 0 {
+		t.Fatal("empty LLT rate nonzero")
+	}
+	c.LLTHits, c.LLTMisses = 75, 25
+	if r := c.LLTMissRate(); math.Abs(r-25) > 1e-9 {
+		t.Fatalf("miss rate %v", r)
+	}
+	rep := Report{CoreStat: []Core{{LLTHits: 50, LLTMisses: 50}, {LLTHits: 100, LLTMisses: 0}}}
+	if r := rep.LLTMissRate(); math.Abs(r-25) > 1e-9 {
+		t.Fatalf("aggregated rate %v", r)
+	}
+}
+
+func TestMemNVMWrites(t *testing.T) {
+	var m Mem
+	m.Writes[WriteData] = 3
+	m.Writes[WriteLog] = 2
+	m.Writes[WriteTruncate] = 1
+	if m.NVMWrites() != 6 {
+		t.Fatalf("total %d", m.NVMWrites())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("t", "bench", []string{"A"}, []string{"x", "y"})
+	tab.Set("A", "x", 1.25)
+	tab.Set("A", "y", 2.5)
+	var buf strings.Builder
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "bench,x,y\nA,1.25,2.5\n"
+	if buf.String() != want {
+		t.Fatalf("csv:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+func TestTableJSONRoundtrip(t *testing.T) {
+	tab := NewTable("title", "bench", []string{"A", "B"}, []string{"x"})
+	tab.Set("A", "x", 1.5)
+	tab.Set("B", "x", 2.5)
+	data, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Table
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != "title" || got.Get("B", "x") != 2.5 {
+		t.Fatalf("roundtrip: %+v", got)
+	}
+	// Malformed: missing row data.
+	if err := json.Unmarshal([]byte(`{"title":"t","rows":["A"],"cols":["x"],"cells":{}}`), &got); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
