@@ -9,8 +9,11 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
+	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/workload"
 )
@@ -21,6 +24,13 @@ import (
 // keeps multi-megabyte structures).
 func benchOpt() experiments.Options {
 	return experiments.Options{Threads: 4, SimScale: 100, InitScale: 4, Seed: 42}
+}
+
+// benchSuite builds a fresh suite — and therefore a fresh engine cache —
+// per benchmark iteration, so b.N > 1 iterations re-simulate instead of
+// replaying memoized results.
+func benchSuite() *experiments.Suite {
+	return experiments.NewSuite(context.Background(), benchOpt(), engine.New(engine.Config{}))
 }
 
 func reportGeomean(b *testing.B, get func() (float64, error), unit string) {
@@ -40,7 +50,7 @@ func reportGeomean(b *testing.B, get func() (float64, error), unit string) {
 // the Proteus geomean speedup over PMEM (paper: 1.46).
 func BenchmarkFigure6(b *testing.B) {
 	reportGeomean(b, func() (float64, error) {
-		tab, err := experiments.Figure6(benchOpt())
+		tab, err := benchSuite().Figure6()
 		if err != nil {
 			return 0, err
 		}
@@ -53,7 +63,7 @@ func BenchmarkFigure6(b *testing.B) {
 // is ATOM's stalls normalized to the ideal case (paper: ~1.16).
 func BenchmarkFigure7(b *testing.B) {
 	reportGeomean(b, func() (float64, error) {
-		tab, err := experiments.Figure7(benchOpt())
+		tab, err := benchSuite().Figure7()
 		if err != nil {
 			return 0, err
 		}
@@ -66,7 +76,7 @@ func BenchmarkFigure7(b *testing.B) {
 // ATOM's write amplification over the ideal case (paper: ~3.4).
 func BenchmarkFigure8(b *testing.B) {
 	reportGeomean(b, func() (float64, error) {
-		tab, err := experiments.Figure8(benchOpt())
+		tab, err := benchSuite().Figure8()
 		if err != nil {
 			return 0, err
 		}
@@ -79,7 +89,7 @@ func BenchmarkFigure8(b *testing.B) {
 // Proteus geomean speedup (paper: 1.49).
 func BenchmarkFigure9(b *testing.B) {
 	reportGeomean(b, func() (float64, error) {
-		tab, err := experiments.Figure9(benchOpt())
+		tab, err := benchSuite().Figure9()
 		if err != nil {
 			return 0, err
 		}
@@ -92,7 +102,7 @@ func BenchmarkFigure9(b *testing.B) {
 // geomean speedup (paper: 1.47).
 func BenchmarkFigure10(b *testing.B) {
 	reportGeomean(b, func() (float64, error) {
-		tab, err := experiments.Figure10(benchOpt())
+		tab, err := benchSuite().Figure10()
 		if err != nil {
 			return 0, err
 		}
@@ -105,7 +115,7 @@ func BenchmarkFigure10(b *testing.B) {
 // speedup gained growing the LogQ from 1 to 64 entries.
 func BenchmarkFigure11(b *testing.B) {
 	reportGeomean(b, func() (float64, error) {
-		tab, err := experiments.Figure11(benchOpt())
+		tab, err := benchSuite().Figure11()
 		if err != nil {
 			return 0, err
 		}
@@ -118,7 +128,7 @@ func BenchmarkFigure11(b *testing.B) {
 // speedup at the paper's chosen 256-entry LPQ.
 func BenchmarkFigure12(b *testing.B) {
 	reportGeomean(b, func() (float64, error) {
-		tab, err := experiments.Figure12(benchOpt())
+		tab, err := benchSuite().Figure12()
 		if err != nil {
 			return 0, err
 		}
@@ -132,7 +142,7 @@ func BenchmarkFigure12(b *testing.B) {
 // 1.27).
 func BenchmarkTable3(b *testing.B) {
 	reportGeomean(b, func() (float64, error) {
-		res, err := experiments.Table3(benchOpt())
+		res, err := benchSuite().Table3()
 		if err != nil {
 			return 0, err
 		}
@@ -145,7 +155,7 @@ func BenchmarkTable3(b *testing.B) {
 // miss rate (paper: 22.5%).
 func BenchmarkTable4(b *testing.B) {
 	reportGeomean(b, func() (float64, error) {
-		tab, err := experiments.Table4(benchOpt())
+		tab, err := benchSuite().Table4()
 		if err != nil {
 			return 0, err
 		}
@@ -159,11 +169,37 @@ func BenchmarkTable4(b *testing.B) {
 // substrate itself.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	reportGeomean(b, func() (float64, error) {
-		opt := benchOpt()
-		tab, err := experiments.Figure6(opt)
+		tab, err := benchSuite().Figure6()
 		_ = tab
 		return float64(b.Elapsed().Milliseconds()), err
 	}, "ms-per-suite")
+}
+
+// BenchmarkEngineSerialVsParallel runs Figure 6's 36-job matrix once on a
+// single worker and once on GOMAXPROCS workers; the metric is the parallel
+// speedup. Tables are asserted byte-identical in either mode by
+// TestEngineDeterminismAcrossWorkers.
+func BenchmarkEngineSerialVsParallel(b *testing.B) {
+	reportGeomean(b, func() (float64, error) {
+		time1, err := timeSuite(1)
+		if err != nil {
+			return 0, err
+		}
+		timeN, err := timeSuite(0) // 0 = GOMAXPROCS
+		if err != nil {
+			return 0, err
+		}
+		return time1 / timeN, nil
+	}, "parallel-speedup")
+}
+
+func timeSuite(workers int) (float64, error) {
+	s := experiments.NewSuite(context.Background(), benchOpt(), engine.New(engine.Config{Workers: workers}))
+	start := time.Now()
+	if _, err := s.Figure6(); err != nil {
+		return 0, err
+	}
+	return float64(time.Since(start).Nanoseconds()), nil
 }
 
 // BenchmarkAblationPersistency compares §2.1's persistency models on the
@@ -171,7 +207,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // over the durable-transaction model.
 func BenchmarkAblationPersistency(b *testing.B) {
 	reportGeomean(b, func() (float64, error) {
-		tab, err := experiments.PersistencyModels(benchOpt())
+		tab, err := benchSuite().PersistencyModels()
 		if err != nil {
 			return 0, err
 		}
@@ -185,7 +221,7 @@ func BenchmarkAblationPersistency(b *testing.B) {
 // fraction of log operations a perfect compiler still has to emit.
 func BenchmarkAblationStaticElim(b *testing.B) {
 	reportGeomean(b, func() (float64, error) {
-		tab, err := experiments.StaticVsDynamicFiltering(benchOpt())
+		tab, err := benchSuite().StaticVsDynamicFiltering()
 		if err != nil {
 			return 0, err
 		}
@@ -200,7 +236,7 @@ func BenchmarkAblationStaticElim(b *testing.B) {
 // difference).
 func BenchmarkAblationATOMInFlight(b *testing.B) {
 	reportGeomean(b, func() (float64, error) {
-		tab, err := experiments.ATOMInFlightSweep(benchOpt())
+		tab, err := benchSuite().ATOMInFlightSweep()
 		if err != nil {
 			return 0, err
 		}
@@ -213,7 +249,7 @@ func BenchmarkAblationATOMInFlight(b *testing.B) {
 // baseline; the metric is the slowdown of a 16-entry WPQ relative to 128.
 func BenchmarkAblationWPQ(b *testing.B) {
 	reportGeomean(b, func() (float64, error) {
-		tab, err := experiments.WPQSweep(benchOpt())
+		tab, err := benchSuite().WPQSweep()
 		if err != nil {
 			return 0, err
 		}
@@ -222,10 +258,24 @@ func BenchmarkAblationWPQ(b *testing.B) {
 	}, "wpq16-slowdown")
 }
 
+// BenchmarkAblationWPQDrain sweeps the WPQ drain-age threshold under the
+// software baseline; the metric is the geomean slowdown of an eager
+// (age=8) drain policy relative to the default age of 48.
+func BenchmarkAblationWPQDrain(b *testing.B) {
+	reportGeomean(b, func() (float64, error) {
+		tab, err := benchSuite().WPQDrainSweep()
+		if err != nil {
+			return 0, err
+		}
+		b.Logf("\n%s", tab)
+		return tab.Get("geomean", "age=8"), nil
+	}, "eager-drain-slowdown")
+}
+
 // BenchmarkAblationLLTSweep reports the QE miss rate at a 256-entry LLT.
 func BenchmarkAblationLLTSweep(b *testing.B) {
 	reportGeomean(b, func() (float64, error) {
-		tab, err := experiments.LLTSweep(benchOpt())
+		tab, err := benchSuite().LLTSweep()
 		if err != nil {
 			return 0, err
 		}

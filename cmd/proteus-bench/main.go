@@ -3,33 +3,46 @@
 // (full Table 2 footprints, 1/25th of the timed operations); -fig selects
 // one experiment and -paperscale runs the full Table 2 operation counts.
 //
+// All selected experiments share one simulation engine: their combined
+// (workload, scheme, config) job matrix runs on -jobs parallel workers,
+// and a tuple several figures have in common is simulated exactly once.
+// Ctrl-C cancels the remaining jobs.
+//
 // Example:
 //
-//	proteus-bench                # everything
+//	proteus-bench                # everything, GOMAXPROCS workers
 //	proteus-bench -fig 6         # just Figure 6
 //	proteus-bench -fig t3        # just Table 3
+//	proteus-bench -jobs 1        # serial (tables are identical either way)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/stats"
 )
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "experiment: 6-12, t3, t4, logq-delta, all; ablations: persistency, llt, static-elim, atom-inflight, wpq, ablations")
+		fig        = flag.String("fig", "all", "experiment: 6-12, t3, t4, logq-delta, all; ablations: persistency, llt, static-elim, atom-inflight, wpq, wpq-drain, ablations")
 		threads    = flag.Int("threads", 4, "worker threads / cores")
 		simScale   = flag.Int("simscale", 25, "divide Table 2 timed operation counts by this")
 		initScale  = flag.Int("initscale", 1, "divide Table 2 initialization counts by this (affects footprint)")
 		paperScale = flag.Bool("paperscale", false, "run the full Table 2 operation counts (hours)")
 		seed       = flag.Int64("seed", 42, "workload seed")
 		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
+		jobs       = flag.Int("jobs", 0, "concurrent simulation jobs (0 = GOMAXPROCS)")
+		jobTimeout = flag.Duration("timeout", 0, "wall-clock limit per simulation job, e.g. 10m (0 = none)")
+		verbose    = flag.Bool("v", false, "log each simulation job to stderr as it finishes")
 	)
 	flag.Parse()
 	if *csvDir != "" {
@@ -44,30 +57,50 @@ func main() {
 		opt.InitScale = 1
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	econf := engine.Config{Workers: *jobs, JobTimeout: *jobTimeout}
+	if *verbose {
+		econf.Progress = func(ev engine.Event) {
+			if ev.Phase == engine.JobDone {
+				status := "ok"
+				if ev.Err != nil {
+					status = ev.Err.Error()
+				}
+				fmt.Fprintf(os.Stderr, "proteus-bench: %v in %v (%s)\n", ev.Job, ev.Elapsed.Round(time.Millisecond), status)
+			}
+		}
+	}
+	eng := engine.New(econf)
+	suite := experiments.NewSuite(ctx, opt, eng)
+	start := time.Now()
+
 	sel := strings.ToLower(*fig)
 	want := func(name string) bool { return sel == "all" || sel == name }
 
 	type tableExp struct {
 		name string
-		run  func(experiments.Options) (fmt.Stringer, error)
+		run  func() (fmt.Stringer, error)
 	}
 	exps := []tableExp{
-		{"6", wrap(experiments.Figure6)},
-		{"7", wrap(experiments.Figure7)},
-		{"8", wrap(experiments.Figure8)},
-		{"9", wrap(experiments.Figure9)},
-		{"10", wrap(experiments.Figure10)},
-		{"11", wrap(experiments.Figure11)},
-		{"12", wrap(experiments.Figure12)},
+		{"6", wrap(suite.Figure6)},
+		{"7", wrap(suite.Figure7)},
+		{"8", wrap(suite.Figure8)},
+		{"9", wrap(suite.Figure9)},
+		{"10", wrap(suite.Figure10)},
+		{"11", wrap(suite.Figure11)},
+		{"12", wrap(suite.Figure12)},
 	}
 	// Ablations beyond the paper's own sensitivity study; selected by
 	// name, or by "ablations" for the whole group (excluded from "all").
 	ablations := []tableExp{
-		{"persistency", wrap(experiments.PersistencyModels)},
-		{"llt", wrap(experiments.LLTSweep)},
-		{"static-elim", wrap(experiments.StaticVsDynamicFiltering)},
-		{"atom-inflight", wrap(experiments.ATOMInFlightSweep)},
-		{"wpq", wrap(experiments.WPQSweep)},
+		{"persistency", wrap(suite.PersistencyModels)},
+		{"llt", wrap(suite.LLTSweep)},
+		{"static-elim", wrap(suite.StaticVsDynamicFiltering)},
+		{"atom-inflight", wrap(suite.ATOMInFlightSweep)},
+		{"wpq", wrap(suite.WPQSweep)},
+		{"wpq-drain", wrap(suite.WPQDrainSweep)},
 	}
 
 	emit := func(name string, out fmt.Stringer) {
@@ -91,7 +124,7 @@ func main() {
 			continue
 		}
 		ran = true
-		out, err := e.run(opt)
+		out, err := e.run()
 		exitOn(err)
 		emit(e.name, out)
 	}
@@ -100,14 +133,14 @@ func main() {
 			continue
 		}
 		ran = true
-		out, err := e.run(opt)
+		out, err := e.run()
 		exitOn(err)
 		emit(e.name, out)
 	}
 
 	if want("t3") {
 		ran = true
-		res, err := experiments.Table3(opt)
+		res, err := suite.Table3()
 		exitOn(err)
 		fmt.Println(res.Speedups)
 		fmt.Println("log entries per transaction (before LLT -> flushed to MC):")
@@ -118,13 +151,13 @@ func main() {
 	}
 	if want("t4") {
 		ran = true
-		tab, err := experiments.Table4(opt)
+		tab, err := suite.Table4()
 		exitOn(err)
 		fmt.Println(tab)
 	}
 	if want("logq-delta") {
 		ran = true
-		nvmD, dramD, err := experiments.LogQMemoryDelta(opt)
+		nvmD, dramD, err := suite.LogQMemoryDelta()
 		exitOn(err)
 		fmt.Printf("LogQ 8->16 geomean speedup delta: %+.3f on NVM, %+.3f on DRAM (§7.2)\n\n", nvmD, dramD)
 	}
@@ -132,10 +165,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "proteus-bench: unknown experiment %q\n", *fig)
 		os.Exit(2)
 	}
+	c := eng.Counters()
+	fmt.Fprintf(os.Stderr, "proteus-bench: %d simulations (%d duplicate requests served from cache, %d workloads built) in %v\n",
+		c.Simulated, c.Deduped, c.WorkloadsBuilt, time.Since(start).Round(time.Millisecond))
 }
 
-func wrap[T fmt.Stringer](f func(experiments.Options) (T, error)) func(experiments.Options) (fmt.Stringer, error) {
-	return func(o experiments.Options) (fmt.Stringer, error) { return f(o) }
+func wrap[T fmt.Stringer](f func() (T, error)) func() (fmt.Stringer, error) {
+	return func() (fmt.Stringer, error) { return f() }
 }
 
 func exitOn(err error) {

@@ -7,14 +7,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
-	"repro/internal/logging"
+	"repro/internal/engine"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -30,6 +33,7 @@ func main() {
 		seed       = flag.Int64("seed", 42, "workload seed")
 		logQ       = flag.Int("logq", 16, "Proteus LogQ entries")
 		lpq        = flag.Int("lpq", 256, "LPQ entries")
+		jobTimeout = flag.Duration("timeout", 0, "wall-clock limit for the simulation, e.g. 10m (0 = none)")
 	)
 	flag.Parse()
 
@@ -60,17 +64,17 @@ func main() {
 	cfg.Proteus.LogQ = *logQ
 	cfg.Mem.LPQ = *lpq
 
-	fmt.Printf("building %v: threads=%d init=%d sim=%d ...\n", kind, p.Threads, p.InitOps, p.SimOps)
-	w, err := workload.Build(kind, p)
-	exitOn(err)
-	traces, err := logging.Generate(w, scheme, cfg)
-	exitOn(err)
-	sys, err := core.NewSystem(cfg, scheme, traces, w.InitImage)
-	exitOn(err)
-	rep, err := sys.Run(0)
-	exitOn(err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	printReport(kind, scheme, memKind, rep, p)
+	fmt.Printf("building %v: threads=%d init=%d sim=%d ...\n", kind, p.Threads, p.InitOps, p.SimOps)
+	eng := engine.New(engine.Config{Workers: 1, JobTimeout: *jobTimeout})
+	start := time.Now()
+	res, err := eng.Run(ctx, engine.Job{Kind: kind, Params: p, Scheme: scheme, Config: cfg})
+	exitOn(err)
+	fmt.Printf("simulated in %v\n", time.Since(start).Round(time.Millisecond))
+
+	printReport(kind, scheme, memKind, res.Report, p)
 }
 
 func printReport(kind workload.Kind, scheme core.Scheme, mem config.MemKind, rep *stats.Report, p workload.Params) {

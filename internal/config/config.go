@@ -6,7 +6,11 @@
 // and converted with the clock ratio.
 package config
 
-import "fmt"
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
 
 // MemKind selects the main-memory device model.
 type MemKind int
@@ -82,6 +86,14 @@ type Mem struct {
 	ReadQ int
 	WPQ   int
 	LPQ   int
+	// DrainHi and MaxWPQAge set the write-drain policy (§4.3's scheduling
+	// side): below DrainHi occupancy the controller holds writes back so
+	// they can coalesce, and any entry older than MaxWPQAge cycles is
+	// drained regardless of occupancy (log-area writes, whose completion
+	// is acceptance, age 8x longer so a transaction's worth batches into
+	// one row activation).
+	DrainHi   int
+	MaxWPQAge int
 }
 
 // Proteus holds the sizes of the new hardware structures (Table 1 last
@@ -151,10 +163,12 @@ func Default() Config {
 				TRCDReadNVM:  29,
 				TRCDWriteNVM: 109,
 			},
-			L3ToMC: 10,
-			ReadQ:  32,
-			WPQ:    128,
-			LPQ:    256,
+			L3ToMC:    10,
+			ReadQ:     32,
+			WPQ:       128,
+			LPQ:       256,
+			DrainHi:   8,
+			MaxWPQAge: 48,
 		},
 		Proteus: Proteus{LogRegs: 8, LogQ: 16, LLTSize: 64, LLTWays: 8},
 		ATOM:    ATOM{MCTrackEntries: 32, PostedLog: true, SourceLog: true, InFlight: 4},
@@ -198,9 +212,30 @@ func (c Config) Validate() error {
 	if c.Mem.Banks < 1 || c.Mem.RowBytes < 64 {
 		return fmt.Errorf("config: bad memory geometry")
 	}
+	if c.Mem.ReadQ < 1 || c.Mem.WPQ < 1 || c.Mem.LPQ < 1 {
+		return fmt.Errorf("config: bad MC queue capacities (readq %d, wpq %d, lpq %d)",
+			c.Mem.ReadQ, c.Mem.WPQ, c.Mem.LPQ)
+	}
+	if c.Mem.DrainHi < 0 || c.Mem.DrainHi > c.Mem.WPQ {
+		return fmt.Errorf("config: DrainHi %d outside [0, WPQ=%d]", c.Mem.DrainHi, c.Mem.WPQ)
+	}
+	if c.Mem.MaxWPQAge < 1 {
+		return fmt.Errorf("config: MaxWPQAge must be >= 1, got %d", c.Mem.MaxWPQAge)
+	}
 	if c.Proteus.LogRegs < 1 || c.Proteus.LogQ < 1 || c.Proteus.LLTWays < 1 ||
 		c.Proteus.LLTSize%c.Proteus.LLTWays != 0 {
 		return fmt.Errorf("config: bad Proteus structure sizes")
 	}
 	return nil
+}
+
+// Fingerprint returns a short stable digest covering every configuration
+// field. Two configs share a fingerprint exactly when they are equal, so
+// it serves as a memoization key for simulation results: the engine runs
+// each (workload, scheme, fingerprint) tuple at most once per invocation.
+// The digest hashes the Go-syntax rendering of the struct, so it is stable
+// within a build but intentionally changes when fields are added.
+func (c Config) Fingerprint() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%#v", c)))
+	return hex.EncodeToString(h[:8])
 }

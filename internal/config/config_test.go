@@ -40,6 +40,9 @@ func TestDefaultMatchesTable1(t *testing.T) {
 	if c.Mem.LPQ != 256 {
 		t.Fatalf("LPQ: %d", c.Mem.LPQ)
 	}
+	if c.Mem.DrainHi != 8 || c.Mem.MaxWPQAge != 48 {
+		t.Fatalf("WPQ drain policy: hi=%d age=%d", c.Mem.DrainHi, c.Mem.MaxWPQAge)
+	}
 }
 
 func TestWithMemKind(t *testing.T) {
@@ -70,6 +73,10 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		func(c *Config) { c.Mem.Banks = 0 },
 		func(c *Config) { c.Proteus.LogQ = 0 },
 		func(c *Config) { c.Proteus.LLTSize = 63 }, // not divisible by ways
+		func(c *Config) { c.Mem.WPQ = 0 },
+		func(c *Config) { c.Mem.DrainHi = -1 },
+		func(c *Config) { c.Mem.DrainHi = c.Mem.WPQ + 1 },
+		func(c *Config) { c.Mem.MaxWPQAge = 0 },
 	}
 	for i, mutate := range bad {
 		c := Default()
@@ -77,5 +84,34 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		if err := c.Validate(); err == nil {
 			t.Errorf("bad config %d accepted", i)
 		}
+	}
+}
+
+func TestFingerprintStableAndDiscriminating(t *testing.T) {
+	a, b := Default(), Default()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal configs have different fingerprints")
+	}
+	if got := len(a.Fingerprint()); got != 16 {
+		t.Fatalf("fingerprint length %d, want 16 hex chars", got)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Cores = 8 },
+		func(c *Config) { c.Proteus.LogQ = 32 },
+		func(c *Config) { c.Mem.LPQ = 128 },
+		func(c *Config) { c.Mem.MaxWPQAge = 64 },
+		func(c *Config) { c.Mem.DrainHi = 16 },
+		func(c *Config) { c.ATOM.InFlight = 8 },
+		func(c *Config) { *c = c.WithMemKind(NVMSlow) },
+	}
+	seen := map[string]int{a.Fingerprint(): -1}
+	for i, mutate := range mutations {
+		c := Default()
+		mutate(&c)
+		fp := c.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("mutation %d collides with %d: %s", i, prev, fp)
+		}
+		seen[fp] = i
 	}
 }

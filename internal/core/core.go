@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -99,8 +100,9 @@ type System struct {
 	coreStats []stats.Core
 	memStat   stats.Mem
 
-	cycle    uint64
-	finished bool
+	cycle       uint64
+	drainCycles uint64
+	finished    bool
 }
 
 // NewSystem builds a machine for the scheme. traces supplies one micro-op
@@ -167,26 +169,41 @@ func (s *System) Step(n uint64) uint64 {
 // Run simulates to completion (bounded by maxCycles; 0 means a generous
 // default) and returns the report.
 func (s *System) Run(maxCycles uint64) (*stats.Report, error) {
+	return s.RunContext(context.Background(), maxCycles)
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// simulation quanta, so a cancelled or deadline-expired context stops a
+// long run within ~100k simulated cycles.
+func (s *System) RunContext(ctx context.Context, maxCycles uint64) (*stats.Report, error) {
 	if maxCycles == 0 {
 		maxCycles = 20_000_000_000
 	}
 	for !s.finished && s.cycle < maxCycles {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: run cancelled at cycle %d (scheme %v): %w", s.cycle, s.scheme, err)
+		}
 		s.Step(100_000)
 	}
 	if !s.finished {
 		return nil, fmt.Errorf("core: simulation exceeded %d cycles (scheme %v)", maxCycles, s.scheme)
 	}
-	// Drain residual WPQ contents so NVM write counts are complete; the
-	// performance metric (Report.Cycles) is the core completion time and
-	// excludes this tail.
+	// Drain residual WPQ contents so NVM write counts are complete. The
+	// drain runs on a detached clock: the performance clock (Cycle,
+	// Report.Cycles) stays at the core completion time, so later Report or
+	// CrashImage calls see undistorted cycle accounting.
 	s.mc.ForceDrain(true)
-	for i := 0; i < 1_000_000 && !s.mc.WPQEmpty(); i++ {
-		s.cycle++
-		s.mc.Tick(s.cycle)
+	for s.drainCycles = 0; s.drainCycles < 1_000_000 && !s.mc.WPQEmpty(); {
+		s.drainCycles++
+		s.mc.Tick(s.cycle + s.drainCycles)
 	}
 	s.mc.ForceDrain(false)
 	return s.Report(), nil
 }
+
+// DrainCycles returns how long the post-completion residual WPQ drain
+// took; these cycles are excluded from Cycle() and Report().Cycles.
+func (s *System) DrainCycles() uint64 { return s.drainCycles }
 
 // Report snapshots the statistics gathered so far.
 func (s *System) Report() *stats.Report {

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/config"
@@ -130,5 +132,56 @@ func TestSharedResourceContention(t *testing.T) {
 	}
 	if rt.CoreStat[0].Cycles < ra.CoreStat[0].Cycles {
 		t.Fatalf("core 0 ran faster with contention: %d vs %d", rt.CoreStat[0].Cycles, ra.CoreStat[0].Cycles)
+	}
+}
+
+// TestRunDrainClockSeparate verifies the residual WPQ drain after
+// completion does not advance the performance clock: Cycle() and a
+// post-Run Report() must agree with the report Run returned.
+func TestRunDrainClockSeparate(t *testing.T) {
+	p := workload.Params{Threads: 2, InitOps: 64, SimOps: 16, Seed: 7}
+	w, err := workload.Build(workload.HashMap, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default()
+	cfg.Cores = 2
+	traces, err := logging.Generate(w, core.Proteus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(cfg, core.Proteus, traces, w.InitImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("completed at cycle %d, residual drain took %d cycles", rep.Cycles, sys.DrainCycles())
+	if sys.Cycle() != rep.Cycles {
+		t.Errorf("Cycle() = %d after Run, want completion time %d (drain leaked into the clock)", sys.Cycle(), rep.Cycles)
+	}
+	if again := sys.Report(); again.Cycles != rep.Cycles {
+		t.Errorf("post-Run Report().Cycles = %d, want %d", again.Cycles, rep.Cycles)
+	}
+}
+
+// TestRunContextCancel verifies a cancelled context stops a run promptly
+// with the context error.
+func TestRunContextCancel(t *testing.T) {
+	p := workload.Params{Threads: 1, InitOps: 32, SimOps: 8, Seed: 3}
+	w, err := workload.Build(workload.Queue, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default()
+	cfg.Cores = 1
+	traces, _ := logging.Generate(w, core.PMEM, cfg)
+	sys, _ := core.NewSystem(cfg, core.PMEM, traces, w.InitImage)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.RunContext(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext after cancel: err = %v, want context.Canceled", err)
 	}
 }

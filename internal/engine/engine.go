@@ -1,0 +1,314 @@
+// Package engine is the shared simulation-job layer under the experiment
+// harness. Every figure of the evaluation is a matrix of (workload,
+// scheme, config) tuples; the engine runs such tuples through a bounded
+// worker pool, memoizes each result under a stable key (the workload
+// parameters plus config.Config.Fingerprint()), and builds each workload
+// exactly once no matter how many jobs — or figures — reference it.
+//
+// Determinism: each simulation is single-goroutine and seeded, workloads
+// are immutable once built, and results are keyed rather than ordered by
+// completion, so a table assembled from engine results is byte-identical
+// whether the pool runs 1 worker or N.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/logging"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Job names one simulation: build (or reuse) the workload for
+// (Kind, Params), generate the Scheme's traces under Config with the
+// logging options, and run the machine to completion.
+type Job struct {
+	Kind   workload.Kind
+	Params workload.Params
+	Scheme core.Scheme
+	Config config.Config
+	Log    logging.Options
+}
+
+func (j Job) String() string {
+	return fmt.Sprintf("%v/%v/%s", j.Kind, j.Scheme, j.Config.Mem.Kind)
+}
+
+// jobKey is the memoization key: the job with the config collapsed to its
+// fingerprint. All fields are comparable, so identical tuples collide by
+// construction.
+type jobKey struct {
+	kind   workload.Kind
+	params workload.Params
+	scheme core.Scheme
+	cfg    string
+	log    logging.Options
+}
+
+func (j Job) key() jobKey {
+	return jobKey{j.Kind, j.Params, j.Scheme, j.Config.Fingerprint(), j.Log}
+}
+
+type wlKey struct {
+	kind   workload.Kind
+	params workload.Params
+}
+
+// Result is what one simulation produced.
+type Result struct {
+	Report *stats.Report
+	// EmittedLogFlushes counts the log-flush micro-ops present in the
+	// generated traces, before any run-time LLT filtering (the quantity
+	// the static-vs-dynamic filtering ablation compares).
+	EmittedLogFlushes uint64
+}
+
+// Phase tags a progress event.
+type Phase int
+
+const (
+	// JobStart fires when a simulation begins executing on a worker.
+	JobStart Phase = iota
+	// JobDone fires when a simulation finishes (Err reports failure).
+	JobDone
+	// JobCached fires when a Run call is answered from the memo table
+	// (including waiting on an identical in-flight job).
+	JobCached
+)
+
+func (p Phase) String() string {
+	switch p {
+	case JobStart:
+		return "start"
+	case JobDone:
+		return "done"
+	case JobCached:
+		return "cached"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// Event is one progress notification. The callback runs on worker
+// goroutines and must be safe for concurrent use.
+type Event struct {
+	Job     Job
+	Phase   Phase
+	Err     error
+	Elapsed time.Duration // set on JobDone
+}
+
+// Config tunes an Engine.
+type Config struct {
+	// Workers bounds concurrent simulations; <= 0 means GOMAXPROCS.
+	Workers int
+	// JobTimeout is a wall-clock bound per simulation; 0 means none.
+	JobTimeout time.Duration
+	// Progress, when non-nil, receives an Event per job transition.
+	Progress func(Event)
+}
+
+// Counters reports what an engine has executed so far.
+type Counters struct {
+	// Simulated counts simulations actually run (unique tuples).
+	Simulated uint64
+	// Deduped counts Run calls answered from the memo table.
+	Deduped uint64
+	// WorkloadsBuilt counts distinct (kind, params) workload builds.
+	WorkloadsBuilt uint64
+}
+
+// Engine runs simulation jobs. It is safe for concurrent use; all methods
+// may be called from multiple goroutines.
+type Engine struct {
+	conf Config
+	sem  chan struct{}
+
+	mu   sync.Mutex
+	jobs map[jobKey]*jobEntry
+	wls  map[wlKey]*wlEntry
+
+	simulated atomic.Uint64
+	deduped   atomic.Uint64
+	built     atomic.Uint64
+}
+
+type jobEntry struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+type wlEntry struct {
+	done chan struct{}
+	wl   *workload.Workload
+	err  error
+}
+
+// New returns an engine with the given configuration.
+func New(conf Config) *Engine {
+	if conf.Workers <= 0 {
+		conf.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		conf: conf,
+		sem:  make(chan struct{}, conf.Workers),
+		jobs: make(map[jobKey]*jobEntry),
+		wls:  make(map[wlKey]*wlEntry),
+	}
+}
+
+// Counters snapshots the execution counters.
+func (e *Engine) Counters() Counters {
+	return Counters{
+		Simulated:      e.simulated.Load(),
+		Deduped:        e.deduped.Load(),
+		WorkloadsBuilt: e.built.Load(),
+	}
+}
+
+func (e *Engine) emit(ev Event) {
+	if e.conf.Progress != nil {
+		e.conf.Progress(ev)
+	}
+}
+
+// Run executes the job, or returns the memoized result of an identical
+// earlier job. Concurrent Run calls for the same tuple share one
+// simulation. A result produced by a cancelled or timed-out run is not
+// memoized, so a later invocation with a live context retries.
+func (e *Engine) Run(ctx context.Context, j Job) (*Result, error) {
+	key := j.key()
+	e.mu.Lock()
+	if ent, ok := e.jobs[key]; ok {
+		e.mu.Unlock()
+		e.deduped.Add(1)
+		e.emit(Event{Job: j, Phase: JobCached})
+		select {
+		case <-ent.done:
+			return ent.res, ent.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	ent := &jobEntry{done: make(chan struct{})}
+	e.jobs[key] = ent
+	e.mu.Unlock()
+
+	start := time.Now()
+	res, err := e.simulate(ctx, j)
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		// Cancellation is a property of this invocation, not of the job:
+		// forget the entry so a later call can retry.
+		e.mu.Lock()
+		delete(e.jobs, key)
+		e.mu.Unlock()
+	}
+	ent.res, ent.err = res, err
+	close(ent.done)
+	e.emit(Event{Job: j, Phase: JobDone, Err: err, Elapsed: time.Since(start)})
+	return res, err
+}
+
+// RunAll runs every job concurrently (bounded by the worker pool) and
+// waits for all of them. The first failure cancels the jobs still pending
+// and is returned; results stay memoized for later Run calls.
+func (e *Engine) RunAll(ctx context.Context, jobs []Job) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e.Run(ctx, j); err != nil {
+				mu.Lock()
+				if first == nil {
+					first = err
+					cancel()
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// simulate executes one job on a worker slot.
+func (e *Engine) simulate(ctx context.Context, j Job) (*Result, error) {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-e.sem }()
+	if e.conf.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.conf.JobTimeout)
+		defer cancel()
+	}
+	e.emit(Event{Job: j, Phase: JobStart})
+
+	w, err := e.workloadFor(ctx, j.Kind, j.Params)
+	if err != nil {
+		return nil, err
+	}
+	traces, err := logging.GenerateOpts(w, j.Scheme, j.Config, j.Log)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %v: %w", j, err)
+	}
+	var emitted uint64
+	for _, tr := range traces {
+		emitted += uint64(tr.Summarize().LogFlushes)
+	}
+	sys, err := core.NewSystem(j.Config, j.Scheme, traces, w.InitImage)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %v: %w", j, err)
+	}
+	rep, err := sys.RunContext(ctx, 0)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %v: %w", j, err)
+	}
+	e.simulated.Add(1)
+	return &Result{Report: rep, EmittedLogFlushes: emitted}, nil
+}
+
+// workloadFor builds the workload for (kind, params) exactly once;
+// concurrent callers wait for the builder. Workloads are immutable after
+// Build, so the jobs sharing one read it concurrently without copies.
+func (e *Engine) workloadFor(ctx context.Context, kind workload.Kind, params workload.Params) (*workload.Workload, error) {
+	key := wlKey{kind, params}
+	e.mu.Lock()
+	if ent, ok := e.wls[key]; ok {
+		e.mu.Unlock()
+		select {
+		case <-ent.done:
+			return ent.wl, ent.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	ent := &wlEntry{done: make(chan struct{})}
+	e.wls[key] = ent
+	e.mu.Unlock()
+
+	ent.wl, ent.err = workload.Build(kind, params)
+	if ent.err == nil {
+		e.built.Add(1)
+	}
+	close(ent.done)
+	return ent.wl, ent.err
+}

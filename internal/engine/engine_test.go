@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func testJob(scheme core.Scheme) Job {
+	cfg := config.Default()
+	cfg.Cores = 1
+	return Job{
+		Kind:   workload.Queue,
+		Params: workload.Params{Threads: 1, InitOps: 32, SimOps: 8, Seed: 1},
+		Scheme: scheme,
+		Config: cfg,
+	}
+}
+
+func TestMemoizedSingleSimulation(t *testing.T) {
+	e := New(Config{Workers: 4})
+	ctx := context.Background()
+	j := testJob(core.PMEMNoLog)
+
+	// Eight concurrent identical jobs share one simulation.
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = j
+	}
+	if err := e.RunAll(ctx, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if c := e.Counters(); c.Simulated != 1 || c.WorkloadsBuilt != 1 {
+		t.Fatalf("counters after 8 identical jobs: %+v, want 1 simulated / 1 built", c)
+	}
+
+	// A later Run is a memo hit returning the very same result.
+	r1, err := e.Run(ctx, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Run(ctx, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("memoized Run returned distinct results")
+	}
+	if c := e.Counters(); c.Simulated != 1 || c.Deduped < 9 {
+		t.Fatalf("counters after memo hits: %+v", c)
+	}
+	if r1.Report == nil || r1.Report.Cycles == 0 {
+		t.Fatalf("bad result: %+v", r1)
+	}
+}
+
+func TestWorkloadSharedAcrossSchemes(t *testing.T) {
+	e := New(Config{Workers: 2})
+	jobs := []Job{testJob(core.PMEM), testJob(core.Proteus), testJob(core.ATOM)}
+	if err := e.RunAll(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	c := e.Counters()
+	if c.Simulated != 3 {
+		t.Fatalf("simulated %d, want 3 (distinct schemes)", c.Simulated)
+	}
+	if c.WorkloadsBuilt != 1 {
+		t.Fatalf("built %d workloads, want 1 shared across schemes", c.WorkloadsBuilt)
+	}
+}
+
+func TestConfigChangesAreDistinctJobs(t *testing.T) {
+	e := New(Config{Workers: 2})
+	a := testJob(core.Proteus)
+	b := a
+	b.Config.Proteus.LogQ = 4
+	if err := e.RunAll(context.Background(), []Job{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	if c := e.Counters(); c.Simulated != 2 {
+		t.Fatalf("simulated %d, want 2 (configs differ)", c.Simulated)
+	}
+}
+
+func TestCancelledRunRetries(t *testing.T) {
+	e := New(Config{Workers: 1})
+	j := testJob(core.PMEM)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Run(ctx, j); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Run: err = %v, want context.Canceled", err)
+	}
+	// The cancelled attempt must not be memoized.
+	res, err := e.Run(context.Background(), j)
+	if err != nil {
+		t.Fatalf("retry after cancel: %v", err)
+	}
+	if res == nil || res.Report.Cycles == 0 {
+		t.Fatal("retry returned no result")
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	e := New(Config{Workers: 1, JobTimeout: time.Nanosecond})
+	if _, err := e.Run(context.Background(), testJob(core.PMEM)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunAllFirstErrorCancelsRest(t *testing.T) {
+	e := New(Config{Workers: 1})
+	bad := testJob(core.PMEM)
+	bad.Config.Cores = 0 // fails validation inside NewSystem
+	err := e.RunAll(context.Background(), []Job{bad, testJob(core.Proteus)})
+	if err == nil {
+		t.Fatal("RunAll swallowed the failure")
+	}
+}
+
+func TestProgressEvents(t *testing.T) {
+	var mu sync.Mutex
+	counts := map[Phase]int{}
+	e := New(Config{Workers: 2, Progress: func(ev Event) {
+		mu.Lock()
+		counts[ev.Phase]++
+		mu.Unlock()
+	}})
+	ctx := context.Background()
+	j := testJob(core.PMEMNoLog)
+	if _, err := e.Run(ctx, j); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(ctx, j); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if counts[JobStart] != 1 || counts[JobDone] != 1 || counts[JobCached] != 1 {
+		t.Fatalf("event counts = %v, want 1 start / 1 done / 1 cached", counts)
+	}
+}

@@ -5,44 +5,46 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/logging"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
 // Ablations beyond the paper's own sensitivity study (§7): each isolates
-// one design choice DESIGN.md calls out.
+// one design choice DESIGN.md calls out. Like the figures, each declares
+// its job matrix and assembles from the engine's keyed results.
 
 // PersistencyModels quantifies §2.1's taxonomy on the software-logging
 // baseline: strict persistency (fence per store) versus the epoch-style
 // durable-transaction steps the paper uses. Values are slowdowns relative
 // to the durable-transaction model (higher = slower).
-func PersistencyModels(opt Options) (*stats.Table, error) {
-	cfg := config.Default()
-	cfg.Cores = opt.Threads
-	r := newRunner(opt)
+func (s *Suite) PersistencyModels() (*stats.Table, error) {
+	cfg := s.config()
 	models := []logging.PersistencyModel{logging.ModelDurableTx, logging.ModelEpoch, logging.ModelStrict}
+	job := func(k workload.Kind, m logging.PersistencyModel) engine.Job {
+		j := s.job(k, core.PMEM, cfg)
+		j.Log = logging.Options{Model: m}
+		return j
+	}
+	var jobs []engine.Job
+	for _, k := range workload.Table2 {
+		for _, m := range models {
+			jobs = append(jobs, job(k, m))
+		}
+	}
+	if err := s.eng.RunAll(s.ctx, jobs); err != nil {
+		return nil, err
+	}
 	cols := make([]string, 0, len(models))
 	for _, m := range models {
 		cols = append(cols, m.String())
 	}
 	tab := stats.NewTable("Ablation: persistency models on software logging (slowdown vs durable-tx)", "bench", benchRows(), cols)
 	for _, k := range workload.Table2 {
-		w, err := r.workload(k)
-		if err != nil {
-			return nil, err
-		}
 		var base uint64
 		for _, m := range models {
-			traces, err := logging.GenerateOpts(w, core.PMEM, cfg, logging.Options{Model: m})
-			if err != nil {
-				return nil, err
-			}
-			sys, err := core.NewSystem(cfg, core.PMEM, traces, w.InitImage)
-			if err != nil {
-				return nil, err
-			}
-			rep, err := sys.Run(0)
+			rep, err := s.run(job(k, m))
 			if err != nil {
 				return nil, err
 			}
@@ -59,13 +61,30 @@ func PersistencyModels(opt Options) (*stats.Table, error) {
 // LLTSizes is the LLT capacity sweep.
 var LLTSizes = []int{8, 16, 32, 64, 128, 256}
 
+// lltConfig returns the suite config with an n-entry LLT, shrinking the
+// associativity when the capacity is below the default way count.
+func (s *Suite) lltConfig(n int) config.Config {
+	c := s.config()
+	c.Proteus.LLTSize = n
+	if n < c.Proteus.LLTWays {
+		c.Proteus.LLTWays = n
+	}
+	return c
+}
+
 // LLTSweep measures the LLT miss rate and the log flushes per transaction
 // as the table grows (the paper fixes 64 entries; this shows why). The
 // returned table holds miss rates in percent.
-func LLTSweep(opt Options) (*stats.Table, error) {
-	cfg := config.Default()
-	cfg.Cores = opt.Threads
-	r := newRunner(opt)
+func (s *Suite) LLTSweep() (*stats.Table, error) {
+	var jobs []engine.Job
+	for _, k := range workload.Table2 {
+		for _, n := range LLTSizes {
+			jobs = append(jobs, s.job(k, core.Proteus, s.lltConfig(n)))
+		}
+	}
+	if err := s.eng.RunAll(s.ctx, jobs); err != nil {
+		return nil, err
+	}
 	cols := make([]string, 0, len(LLTSizes))
 	for _, n := range LLTSizes {
 		cols = append(cols, fmt.Sprintf("LLT=%d", n))
@@ -74,14 +93,7 @@ func LLTSweep(opt Options) (*stats.Table, error) {
 	tab.Format = "%8.1f"
 	for _, k := range workload.Table2 {
 		for _, n := range LLTSizes {
-			c := cfg
-			c.Proteus.LLTSize = n
-			ways := c.Proteus.LLTWays
-			if n < ways {
-				ways = n
-			}
-			c.Proteus.LLTWays = ways
-			rep, err := r.run(k, core.Proteus, c)
+			rep, err := s.run(s.job(k, core.Proteus, s.lltConfig(n)))
 			if err != nil {
 				return nil, err
 			}
@@ -97,46 +109,39 @@ func LLTSweep(opt Options) (*stats.Table, error) {
 // over PMEM with dynamic filtering, with static elimination, and the
 // log-flush reduction static elimination achieves over the instruction
 // stream the LLT sees.
-func StaticVsDynamicFiltering(opt Options) (*stats.Table, error) {
-	cfg := config.Default()
-	cfg.Cores = opt.Threads
-	r := newRunner(opt)
+func (s *Suite) StaticVsDynamicFiltering() (*stats.Table, error) {
+	cfg := s.config()
+	static := func(k workload.Kind) engine.Job {
+		j := s.job(k, core.Proteus, cfg)
+		j.Log = logging.Options{StaticLogElim: true}
+		return j
+	}
+	var jobs []engine.Job
+	for _, k := range workload.Table2 {
+		jobs = append(jobs, s.job(k, core.PMEM, cfg), s.job(k, core.Proteus, cfg), static(k))
+	}
+	if err := s.eng.RunAll(s.ctx, jobs); err != nil {
+		return nil, err
+	}
 	cols := []string{"dynamic(LLT)", "static(compiler)", "logops-emitted-ratio"}
 	tab := stats.NewTable("Ablation: LLT vs compiler-side log elimination", "bench", benchRows(), cols)
 	for _, k := range workload.Table2 {
-		w, err := r.workload(k)
+		base, err := s.run(s.job(k, core.PMEM, cfg))
 		if err != nil {
 			return nil, err
 		}
-		base, err := r.run(k, core.PMEM, cfg)
+		dyn, err := s.eng.Run(s.ctx, s.job(k, core.Proteus, cfg))
 		if err != nil {
 			return nil, err
 		}
-		var speedup [2]float64
-		var emitted [2]uint64
-		for i, o := range []logging.Options{{}, {StaticLogElim: true}} {
-			traces, err := logging.GenerateOpts(w, core.Proteus, cfg, o)
-			if err != nil {
-				return nil, err
-			}
-			var logOps uint64
-			for _, tr := range traces {
-				logOps += uint64(tr.Summarize().LogFlushes)
-			}
-			emitted[i] = logOps
-			sys, err := core.NewSystem(cfg, core.Proteus, traces, w.InitImage)
-			if err != nil {
-				return nil, err
-			}
-			rep, err := sys.Run(0)
-			if err != nil {
-				return nil, err
-			}
-			speedup[i] = rep.Speedup(base)
+		st, err := s.eng.Run(s.ctx, static(k))
+		if err != nil {
+			return nil, err
 		}
-		tab.Set(k.Abbrev(), "dynamic(LLT)", speedup[0])
-		tab.Set(k.Abbrev(), "static(compiler)", speedup[1])
-		tab.Set(k.Abbrev(), "logops-emitted-ratio", float64(emitted[1])/float64(max(emitted[0], 1)))
+		tab.Set(k.Abbrev(), "dynamic(LLT)", dyn.Report.Speedup(base))
+		tab.Set(k.Abbrev(), "static(compiler)", st.Report.Speedup(base))
+		tab.Set(k.Abbrev(), "logops-emitted-ratio",
+			float64(st.EmittedLogFlushes)/float64(max(dyn.EmittedLogFlushes, 1)))
 	}
 	tab.AddGeoMeanRow()
 	return tab, nil
@@ -149,10 +154,23 @@ var ATOMInFlightSizes = []int{1, 2, 4, 8, 16}
 // ATOMInFlightSweep shows the cost of ATOM's store-retirement coupling:
 // even with deeply pipelined log requests it cannot reach Proteus, whose
 // LogQ decouples stores entirely. Values are speedups over PMEM.
-func ATOMInFlightSweep(opt Options) (*stats.Table, error) {
-	cfg := config.Default()
-	cfg.Cores = opt.Threads
-	r := newRunner(opt)
+func (s *Suite) ATOMInFlightSweep() (*stats.Table, error) {
+	cfg := s.config()
+	variant := func(n int) config.Config {
+		c := cfg
+		c.ATOM.InFlight = n
+		return c
+	}
+	var jobs []engine.Job
+	for _, k := range workload.Table2 {
+		jobs = append(jobs, s.job(k, core.PMEM, cfg), s.job(k, core.Proteus, cfg))
+		for _, n := range ATOMInFlightSizes {
+			jobs = append(jobs, s.job(k, core.ATOM, variant(n)))
+		}
+	}
+	if err := s.eng.RunAll(s.ctx, jobs); err != nil {
+		return nil, err
+	}
 	cols := make([]string, 0, len(ATOMInFlightSizes)+1)
 	for _, n := range ATOMInFlightSizes {
 		cols = append(cols, fmt.Sprintf("inflight=%d", n))
@@ -160,20 +178,18 @@ func ATOMInFlightSweep(opt Options) (*stats.Table, error) {
 	cols = append(cols, "Proteus")
 	tab := stats.NewTable("Ablation: ATOM log-request pipelining (speedup vs PMEM)", "bench", benchRows(), cols)
 	for _, k := range workload.Table2 {
-		base, err := r.run(k, core.PMEM, cfg)
+		base, err := s.run(s.job(k, core.PMEM, cfg))
 		if err != nil {
 			return nil, err
 		}
 		for _, n := range ATOMInFlightSizes {
-			c := cfg
-			c.ATOM.InFlight = n
-			rep, err := r.run(k, core.ATOM, c)
+			rep, err := s.run(s.job(k, core.ATOM, variant(n)))
 			if err != nil {
 				return nil, err
 			}
 			tab.Set(k.Abbrev(), fmt.Sprintf("inflight=%d", n), rep.Speedup(base))
 		}
-		rep, err := r.run(k, core.Proteus, cfg)
+		rep, err := s.run(s.job(k, core.Proteus, cfg))
 		if err != nil {
 			return nil, err
 		}
@@ -189,43 +205,115 @@ var WPQSizes = []int{16, 32, 64, 128, 256}
 // WPQSweep shows the sensitivity of the software baseline to WPQ depth
 // (the paper motivates the LPQ by the cost of growing the WPQ; this is
 // the performance side of that trade).
-func WPQSweep(opt Options) (*stats.Table, error) {
-	cfg := config.Default()
-	cfg.Cores = opt.Threads
-	r := newRunner(opt)
+func (s *Suite) WPQSweep() (*stats.Table, error) {
+	variant := func(n int) config.Config {
+		c := s.config()
+		c.Mem.WPQ = n
+		if c.Mem.DrainHi > n {
+			c.Mem.DrainHi = n
+		}
+		return c
+	}
+	var jobs []engine.Job
+	for _, k := range workload.Table2 {
+		jobs = append(jobs, s.job(k, core.PMEM, variant(128)))
+		for _, n := range WPQSizes {
+			jobs = append(jobs, s.job(k, core.PMEM, variant(n)))
+		}
+	}
+	if err := s.eng.RunAll(s.ctx, jobs); err != nil {
+		return nil, err
+	}
 	cols := make([]string, 0, len(WPQSizes))
 	for _, n := range WPQSizes {
 		cols = append(cols, fmt.Sprintf("WPQ=%d", n))
 	}
 	tab := stats.NewTable("Ablation: PMEM cycles normalized to WPQ=128", "bench", benchRows(), cols)
 	for _, k := range workload.Table2 {
-		var base uint64
-		{
-			c := cfg
-			c.Mem.WPQ = 128
-			rep, err := r.run(k, core.PMEM, c)
-			if err != nil {
-				return nil, err
-			}
-			base = rep.Cycles
+		base, err := s.run(s.job(k, core.PMEM, variant(128)))
+		if err != nil {
+			return nil, err
 		}
 		for _, n := range WPQSizes {
-			c := cfg
-			c.Mem.WPQ = n
-			rep, err := r.run(k, core.PMEM, c)
+			rep, err := s.run(s.job(k, core.PMEM, variant(n)))
 			if err != nil {
 				return nil, err
 			}
-			tab.Set(k.Abbrev(), fmt.Sprintf("WPQ=%d", n), float64(rep.Cycles)/float64(base))
+			tab.Set(k.Abbrev(), fmt.Sprintf("WPQ=%d", n), float64(rep.Cycles)/float64(base.Cycles))
 		}
 	}
 	tab.AddGeoMeanRow()
 	return tab, nil
 }
 
-func max(a, b uint64) uint64 {
-	if a > b {
-		return a
+// WPQDrainAges sweeps the maximum WPQ entry age before a forced drain
+// (config.Mem.MaxWPQAge; the default is 48).
+var WPQDrainAges = []int{8, 16, 48, 128, 384}
+
+// WPQDrainSweep shows the coalescing-vs-latency trade in the WPQ drain
+// policy now that it is configurable: draining entries young forfeits
+// write coalescing and row batching, draining them old risks full-queue
+// stalls. Values are PMEM cycles normalized to the default age of 48.
+func (s *Suite) WPQDrainSweep() (*stats.Table, error) {
+	variant := func(age int) config.Config {
+		c := s.config()
+		c.Mem.MaxWPQAge = age
+		return c
 	}
-	return b
+	var jobs []engine.Job
+	for _, k := range workload.Table2 {
+		for _, age := range WPQDrainAges {
+			jobs = append(jobs, s.job(k, core.PMEM, variant(age)))
+		}
+	}
+	if err := s.eng.RunAll(s.ctx, jobs); err != nil {
+		return nil, err
+	}
+	cols := make([]string, 0, len(WPQDrainAges))
+	for _, age := range WPQDrainAges {
+		cols = append(cols, fmt.Sprintf("age=%d", age))
+	}
+	tab := stats.NewTable("Ablation: PMEM cycles vs WPQ drain age (normalized to age=48)", "bench", benchRows(), cols)
+	for _, k := range workload.Table2 {
+		base, err := s.run(s.job(k, core.PMEM, variant(48)))
+		if err != nil {
+			return nil, err
+		}
+		for _, age := range WPQDrainAges {
+			rep, err := s.run(s.job(k, core.PMEM, variant(age)))
+			if err != nil {
+				return nil, err
+			}
+			tab.Set(k.Abbrev(), fmt.Sprintf("age=%d", age), float64(rep.Cycles)/float64(base.Cycles))
+		}
+	}
+	tab.AddGeoMeanRow()
+	return tab, nil
 }
+
+// Package-level wrappers (fresh single-ablation suite each; see the
+// figure wrappers in experiments.go).
+
+// PersistencyModels runs the persistency-model ablation.
+func PersistencyModels(opt Options) (*stats.Table, error) {
+	return NewSuite(nil, opt, nil).PersistencyModels()
+}
+
+// LLTSweep runs the LLT capacity ablation.
+func LLTSweep(opt Options) (*stats.Table, error) { return NewSuite(nil, opt, nil).LLTSweep() }
+
+// StaticVsDynamicFiltering runs the LLT-vs-compiler ablation.
+func StaticVsDynamicFiltering(opt Options) (*stats.Table, error) {
+	return NewSuite(nil, opt, nil).StaticVsDynamicFiltering()
+}
+
+// ATOMInFlightSweep runs the ATOM pipelining ablation.
+func ATOMInFlightSweep(opt Options) (*stats.Table, error) {
+	return NewSuite(nil, opt, nil).ATOMInFlightSweep()
+}
+
+// WPQSweep runs the WPQ capacity ablation.
+func WPQSweep(opt Options) (*stats.Table, error) { return NewSuite(nil, opt, nil).WPQSweep() }
+
+// WPQDrainSweep runs the WPQ drain-age ablation.
+func WPQDrainSweep(opt Options) (*stats.Table, error) { return NewSuite(nil, opt, nil).WPQDrainSweep() }

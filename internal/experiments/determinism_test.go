@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestEngineDeterminismAcrossWorkers asserts the tentpole invariant: for a
+// fixed seed, the tables a suite produces are byte-identical whether the
+// engine runs 1 worker or 8 — results are keyed, not ordered by
+// completion. Covers Figure 6 and the WPQ drain-age ablation.
+func TestEngineDeterminismAcrossWorkers(t *testing.T) {
+	render := func(workers int) ([]byte, engine.Counters) {
+		eng := engine.New(engine.Config{Workers: workers})
+		s := NewSuite(context.Background(), Quick(), eng)
+		f6, err := s.Figure6()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, err := s.WPQDrainSweep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := f6.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := ab.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), eng.Counters()
+	}
+
+	serial, c1 := render(1)
+	parallel, c8 := render(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("tables differ between jobs=1 and jobs=8:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", serial, parallel)
+	}
+	if c1.Simulated != c8.Simulated {
+		t.Errorf("simulation counts differ: %d vs %d", c1.Simulated, c8.Simulated)
+	}
+	// Figure 6 shares its PMEM runs with the drain sweep's age=48 column:
+	// the suite must simulate each unique tuple exactly once.
+	// Figure 6: 6 benches x 6 schemes = 36. Drain sweep: 6 benches x 5
+	// ages, minus the 6 PMEM age=48 runs Figure 6 already did = 24.
+	if want := uint64(60); c8.Simulated != want {
+		t.Errorf("simulated %d unique tuples, want %d (duplicate or missing runs)", c8.Simulated, want)
+	}
+	t.Logf("jobs=8 counters: %+v", c8)
+}

@@ -2,14 +2,23 @@
 // evaluation (§6-§7): one function per figure/table, each returning the
 // same rows and series the paper plots. The per-experiment index lives in
 // DESIGN.md §4; measured-vs-paper numbers are recorded in EXPERIMENTS.md.
+//
+// Figures declare their (workload, scheme, config) job matrix and hand it
+// to a shared simulation engine (internal/engine), which runs the jobs on
+// a bounded worker pool and memoizes each tuple; the figure then assembles
+// its table from the keyed results in a fixed order, so output is
+// byte-identical regardless of worker count. Sharing one Suite across
+// figures (as cmd/proteus-bench does) dedupes the many runs Figures
+// 6/7/8/11/12 and the ablations have in common.
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/config"
 	"repro/internal/core"
-	"repro/internal/logging"
+	"repro/internal/engine"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -63,47 +72,50 @@ func (o Options) params(k workload.Kind) workload.Params {
 	return p
 }
 
-// runner caches built workloads so the schemes share one recording.
-type runner struct {
+// Suite runs figures through one shared engine: every (workload, scheme,
+// config) tuple any of its figures needs is simulated at most once for
+// the suite's lifetime.
+type Suite struct {
 	opt Options
-	wls map[workload.Kind]*workload.Workload
+	eng *engine.Engine
+	ctx context.Context
 }
 
-func newRunner(opt Options) *runner {
-	return &runner{opt: opt, wls: make(map[workload.Kind]*workload.Workload)}
+// NewSuite returns a suite over the engine. A nil context means
+// context.Background(); a nil engine gets a private one with default
+// settings (GOMAXPROCS workers).
+func NewSuite(ctx context.Context, opt Options, eng *engine.Engine) *Suite {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if eng == nil {
+		eng = engine.New(engine.Config{})
+	}
+	return &Suite{opt: opt, eng: eng, ctx: ctx}
 }
 
-func (r *runner) workload(k workload.Kind) (*workload.Workload, error) {
-	if w, ok := r.wls[k]; ok {
-		return w, nil
-	}
-	w, err := workload.Build(k, r.opt.params(k))
-	if err != nil {
-		return nil, err
-	}
-	r.wls[k] = w
-	return w, nil
+// Engine exposes the suite's engine (for its execution counters).
+func (s *Suite) Engine() *engine.Engine { return s.eng }
+
+// config returns the default machine scaled to the suite's thread count.
+func (s *Suite) config() config.Config {
+	cfg := config.Default()
+	cfg.Cores = s.opt.Threads
+	return cfg
 }
 
-// run simulates one (benchmark, scheme) pair under cfg.
-func (r *runner) run(k workload.Kind, scheme core.Scheme, cfg config.Config) (*stats.Report, error) {
-	w, err := r.workload(k)
+// job declares one Table 2 benchmark run.
+func (s *Suite) job(k workload.Kind, scheme core.Scheme, cfg config.Config) engine.Job {
+	return engine.Job{Kind: k, Params: s.opt.params(k), Scheme: scheme, Config: cfg}
+}
+
+// run fetches one job's report (memoized by the engine).
+func (s *Suite) run(j engine.Job) (*stats.Report, error) {
+	res, err := s.eng.Run(s.ctx, j)
 	if err != nil {
 		return nil, err
 	}
-	traces, err := logging.Generate(w, scheme, cfg)
-	if err != nil {
-		return nil, err
-	}
-	sys, err := core.NewSystem(cfg, scheme, traces, w.InitImage)
-	if err != nil {
-		return nil, err
-	}
-	rep, err := sys.Run(0)
-	if err != nil {
-		return nil, fmt.Errorf("%v/%v: %w", k, scheme, err)
-	}
-	return rep, nil
+	return res.Report, nil
 }
 
 func benchRows() []string {
@@ -116,26 +128,37 @@ func benchRows() []string {
 
 // speedupFigure runs the Figure 6/9/10 matrix on the given memory kind:
 // speedup of every scheme over the PMEM software-logging baseline.
-func speedupFigure(opt Options, kind config.MemKind, title string) (*stats.Table, error) {
-	cfg := config.Default().WithMemKind(kind)
-	cfg.Cores = opt.Threads
-	r := newRunner(opt)
+func (s *Suite) speedupFigure(kind config.MemKind, title string) (*stats.Table, error) {
+	cfg := s.config().WithMemKind(kind)
+	schemes := []core.Scheme{
+		core.PMEM, core.PMEMPcommit, core.ATOM,
+		core.ProteusNoLWR, core.Proteus, core.PMEMNoLog,
+	}
+	var jobs []engine.Job
+	for _, k := range workload.Table2 {
+		for _, sc := range schemes {
+			jobs = append(jobs, s.job(k, sc, cfg))
+		}
+	}
+	if err := s.eng.RunAll(s.ctx, jobs); err != nil {
+		return nil, err
+	}
 	cols := []string{
 		core.PMEMPcommit.String(), core.ATOM.String(),
 		core.ProteusNoLWR.String(), core.Proteus.String(), core.PMEMNoLog.String(),
 	}
 	tab := stats.NewTable(title, "bench", benchRows(), cols)
 	for _, k := range workload.Table2 {
-		base, err := r.run(k, core.PMEM, cfg)
+		base, err := s.run(s.job(k, core.PMEM, cfg))
 		if err != nil {
 			return nil, err
 		}
-		for _, s := range []core.Scheme{core.PMEMPcommit, core.ATOM, core.ProteusNoLWR, core.Proteus, core.PMEMNoLog} {
-			rep, err := r.run(k, s, cfg)
+		for _, sc := range []core.Scheme{core.PMEMPcommit, core.ATOM, core.ProteusNoLWR, core.Proteus, core.PMEMNoLog} {
+			rep, err := s.run(s.job(k, sc, cfg))
 			if err != nil {
 				return nil, err
 			}
-			tab.Set(k.Abbrev(), s.String(), rep.Speedup(base))
+			tab.Set(k.Abbrev(), sc.String(), rep.Speedup(base))
 		}
 	}
 	tab.AddGeoMeanRow()
@@ -144,30 +167,38 @@ func speedupFigure(opt Options, kind config.MemKind, title string) (*stats.Table
 
 // Figure6 reproduces the speedup comparison on (fast) NVMM with software
 // logging with PMEM as baseline.
-func Figure6(opt Options) (*stats.Table, error) {
-	return speedupFigure(opt, config.NVMFast, "Figure 6: speedup on NVMM (baseline: PMEM software logging)")
+func (s *Suite) Figure6() (*stats.Table, error) {
+	return s.speedupFigure(config.NVMFast, "Figure 6: speedup on NVMM (baseline: PMEM software logging)")
 }
 
 // Figure9 reproduces the slow-NVMM study (300ns writes, §7.1).
-func Figure9(opt Options) (*stats.Table, error) {
-	return speedupFigure(opt, config.NVMSlow, "Figure 9: speedup on slow NVMM, 300ns writes (baseline: PMEM)")
+func (s *Suite) Figure9() (*stats.Table, error) {
+	return s.speedupFigure(config.NVMSlow, "Figure 9: speedup on slow NVMM, 300ns writes (baseline: PMEM)")
 }
 
 // Figure10 reproduces the DRAM study (§7.2).
-func Figure10(opt Options) (*stats.Table, error) {
-	return speedupFigure(opt, config.DRAM, "Figure 10: speedup on DRAM (baseline: PMEM)")
+func (s *Suite) Figure10() (*stats.Table, error) {
+	return s.speedupFigure(config.DRAM, "Figure 10: speedup on DRAM (baseline: PMEM)")
 }
 
 // Figure7 reproduces the front-end stall comparison: stall cycles
 // normalized to PMEM+nolog.
-func Figure7(opt Options) (*stats.Table, error) {
-	cfg := config.Default()
-	cfg.Cores = opt.Threads
-	r := newRunner(opt)
+func (s *Suite) Figure7() (*stats.Table, error) {
+	cfg := s.config()
+	schemes := []core.Scheme{core.ATOM, core.Proteus, core.PMEMNoLog}
+	var jobs []engine.Job
+	for _, k := range workload.Table2 {
+		for _, sc := range schemes {
+			jobs = append(jobs, s.job(k, sc, cfg))
+		}
+	}
+	if err := s.eng.RunAll(s.ctx, jobs); err != nil {
+		return nil, err
+	}
 	cols := []string{core.ATOM.String(), core.Proteus.String(), core.PMEMNoLog.String()}
 	tab := stats.NewTable("Figure 7: front-end stall cycles (normalized to PMEM+nolog)", "bench", benchRows(), cols)
 	for _, k := range workload.Table2 {
-		ideal, err := r.run(k, core.PMEMNoLog, cfg)
+		ideal, err := s.run(s.job(k, core.PMEMNoLog, cfg))
 		if err != nil {
 			return nil, err
 		}
@@ -175,8 +206,8 @@ func Figure7(opt Options) (*stats.Table, error) {
 		if base == 0 {
 			base = 1
 		}
-		for _, s := range []core.Scheme{core.ATOM, core.Proteus, core.PMEMNoLog} {
-			rep, err := r.run(k, s, cfg)
+		for _, sc := range schemes {
+			rep, err := s.run(s.job(k, sc, cfg))
 			if err != nil {
 				return nil, err
 			}
@@ -184,7 +215,7 @@ func Figure7(opt Options) (*stats.Table, error) {
 			if stalls < 1 {
 				stalls = 1 // keep the geomean defined when a run never stalls
 			}
-			tab.Set(k.Abbrev(), s.String(), stalls/base)
+			tab.Set(k.Abbrev(), sc.String(), stalls/base)
 		}
 	}
 	tab.AddGeoMeanRow()
@@ -193,14 +224,22 @@ func Figure7(opt Options) (*stats.Table, error) {
 
 // Figure8 reproduces the NVMM write comparison: writes normalized to
 // PMEM+nolog.
-func Figure8(opt Options) (*stats.Table, error) {
-	cfg := config.Default()
-	cfg.Cores = opt.Threads
-	r := newRunner(opt)
+func (s *Suite) Figure8() (*stats.Table, error) {
+	cfg := s.config()
+	schemes := []core.Scheme{core.PMEM, core.ATOM, core.Proteus, core.PMEMNoLog}
+	var jobs []engine.Job
+	for _, k := range workload.Table2 {
+		for _, sc := range schemes {
+			jobs = append(jobs, s.job(k, sc, cfg))
+		}
+	}
+	if err := s.eng.RunAll(s.ctx, jobs); err != nil {
+		return nil, err
+	}
 	cols := []string{core.PMEM.String(), core.ATOM.String(), core.Proteus.String(), core.PMEMNoLog.String()}
 	tab := stats.NewTable("Figure 8: NVMM writes (normalized to PMEM+nolog)", "bench", benchRows(), cols)
 	for _, k := range workload.Table2 {
-		ideal, err := r.run(k, core.PMEMNoLog, cfg)
+		ideal, err := s.run(s.job(k, core.PMEMNoLog, cfg))
 		if err != nil {
 			return nil, err
 		}
@@ -208,12 +247,12 @@ func Figure8(opt Options) (*stats.Table, error) {
 		if base == 0 {
 			base = 1
 		}
-		for _, s := range []core.Scheme{core.PMEM, core.ATOM, core.Proteus, core.PMEMNoLog} {
-			rep, err := r.run(k, s, cfg)
+		for _, sc := range schemes {
+			rep, err := s.run(s.job(k, sc, cfg))
 			if err != nil {
 				return nil, err
 			}
-			tab.Set(k.Abbrev(), s.String(), float64(rep.MemStat.NVMWrites())/base)
+			tab.Set(k.Abbrev(), sc.String(), float64(rep.MemStat.NVMWrites())/base)
 		}
 	}
 	tab.AddGeoMeanRow()
@@ -225,24 +264,36 @@ var LogQSizes = []int{1, 2, 4, 8, 16, 32, 64}
 
 // Figure11 reproduces the LogQ-size sensitivity: Proteus speedup over PMEM
 // for LogQ sizes 1-64.
-func Figure11(opt Options) (*stats.Table, error) {
-	cfg := config.Default()
-	cfg.Cores = opt.Threads
-	r := newRunner(opt)
+func (s *Suite) Figure11() (*stats.Table, error) {
+	cfg := s.config()
+	jobs := []engine.Job{}
+	variants := make(map[int]config.Config, len(LogQSizes))
+	for _, n := range LogQSizes {
+		c := cfg
+		c.Proteus.LogQ = n
+		variants[n] = c
+	}
+	for _, k := range workload.Table2 {
+		jobs = append(jobs, s.job(k, core.PMEM, cfg))
+		for _, n := range LogQSizes {
+			jobs = append(jobs, s.job(k, core.Proteus, variants[n]))
+		}
+	}
+	if err := s.eng.RunAll(s.ctx, jobs); err != nil {
+		return nil, err
+	}
 	cols := make([]string, 0, len(LogQSizes))
 	for _, n := range LogQSizes {
 		cols = append(cols, fmt.Sprintf("LogQ=%d", n))
 	}
 	tab := stats.NewTable("Figure 11: Proteus speedup vs LogQ size (baseline: PMEM)", "bench", benchRows(), cols)
 	for _, k := range workload.Table2 {
-		base, err := r.run(k, core.PMEM, cfg)
+		base, err := s.run(s.job(k, core.PMEM, cfg))
 		if err != nil {
 			return nil, err
 		}
 		for _, n := range LogQSizes {
-			c := cfg
-			c.Proteus.LogQ = n
-			rep, err := r.run(k, core.Proteus, c)
+			rep, err := s.run(s.job(k, core.Proteus, variants[n]))
 			if err != nil {
 				return nil, err
 			}
@@ -257,24 +308,36 @@ func Figure11(opt Options) (*stats.Table, error) {
 var LPQSizes = []int{16, 32, 64, 128, 256, 512}
 
 // Figure12 reproduces the LPQ-size sensitivity at LogQ=16.
-func Figure12(opt Options) (*stats.Table, error) {
-	cfg := config.Default()
-	cfg.Cores = opt.Threads
-	r := newRunner(opt)
+func (s *Suite) Figure12() (*stats.Table, error) {
+	cfg := s.config()
+	variants := make(map[int]config.Config, len(LPQSizes))
+	for _, n := range LPQSizes {
+		c := cfg
+		c.Mem.LPQ = n
+		variants[n] = c
+	}
+	var jobs []engine.Job
+	for _, k := range workload.Table2 {
+		jobs = append(jobs, s.job(k, core.PMEM, cfg))
+		for _, n := range LPQSizes {
+			jobs = append(jobs, s.job(k, core.Proteus, variants[n]))
+		}
+	}
+	if err := s.eng.RunAll(s.ctx, jobs); err != nil {
+		return nil, err
+	}
 	cols := make([]string, 0, len(LPQSizes))
 	for _, n := range LPQSizes {
 		cols = append(cols, fmt.Sprintf("LPQ=%d", n))
 	}
 	tab := stats.NewTable("Figure 12: Proteus speedup vs LPQ size, LogQ=16 (baseline: PMEM)", "bench", benchRows(), cols)
 	for _, k := range workload.Table2 {
-		base, err := r.run(k, core.PMEM, cfg)
+		base, err := s.run(s.job(k, core.PMEM, cfg))
 		if err != nil {
 			return nil, err
 		}
 		for _, n := range LPQSizes {
-			c := cfg
-			c.Mem.LPQ = n
-			rep, err := r.run(k, core.Proteus, c)
+			rep, err := s.run(s.job(k, core.Proteus, variants[n]))
 			if err != nil {
 				return nil, err
 			}
@@ -288,7 +351,7 @@ func Figure12(opt Options) (*stats.Table, error) {
 // Table3Sizes is the large-transaction element sweep.
 var Table3Sizes = []int{1024, 2048, 4096, 8192}
 
-// Table3 reproduces the large-transaction study on the linked-list
+// Table3Result reproduces the large-transaction study on the linked-list
 // microbenchmark: Proteus and ideal speedups over PMEM, and the log-entry
 // amplification before and after the LLT.
 type Table3Result struct {
@@ -300,10 +363,35 @@ type Table3Result struct {
 	FlushedPerTxn map[int]float64
 }
 
+// table3Params sizes the linked-list workload for n-element transactions.
+func (s *Suite) table3Params(n int) workload.Params {
+	p := workload.LinkedList.DefaultParams(1)
+	p.Threads = s.opt.Threads
+	p.Seed = s.opt.Seed
+	p.ListElems = n
+	p.SimOps = 192 / s.opt.Threads
+	if s.opt.SimScale > 25 {
+		p.SimOps = 64 / s.opt.Threads
+	}
+	if p.SimOps < 8 {
+		p.SimOps = 8
+	}
+	return p
+}
+
 // Table3 runs the sweep.
-func Table3(opt Options) (*Table3Result, error) {
-	cfg := config.Default()
-	cfg.Cores = opt.Threads
+func (s *Suite) Table3() (*Table3Result, error) {
+	cfg := s.config()
+	schemes := []core.Scheme{core.PMEM, core.Proteus, core.PMEMNoLog}
+	var jobs []engine.Job
+	for _, n := range Table3Sizes {
+		for _, sc := range schemes {
+			jobs = append(jobs, engine.Job{Kind: workload.LinkedList, Params: s.table3Params(n), Scheme: sc, Config: cfg})
+		}
+	}
+	if err := s.eng.RunAll(s.ctx, jobs); err != nil {
+		return nil, err
+	}
 	rows := make([]string, 0, len(Table3Sizes))
 	for _, n := range Table3Sizes {
 		rows = append(rows, fmt.Sprintf("%d", n))
@@ -314,48 +402,26 @@ func Table3(opt Options) (*Table3Result, error) {
 		FlushedPerTxn: make(map[int]float64),
 	}
 	for _, n := range Table3Sizes {
-		p := workload.LinkedList.DefaultParams(1)
-		p.Threads = opt.Threads
-		p.Seed = opt.Seed
-		p.ListElems = n
-		p.SimOps = 192 / opt.Threads
-		if opt.SimScale > 25 {
-			p.SimOps = 64 / opt.Threads
+		p := s.table3Params(n)
+		job := func(sc core.Scheme) engine.Job {
+			return engine.Job{Kind: workload.LinkedList, Params: p, Scheme: sc, Config: cfg}
 		}
-		if p.SimOps < 8 {
-			p.SimOps = 8
-		}
-		w, err := workload.Build(workload.LinkedList, p)
+		base, err := s.run(job(core.PMEM))
 		if err != nil {
 			return nil, err
 		}
-		var base, proteus, ideal *stats.Report
-		for _, s := range []core.Scheme{core.PMEM, core.Proteus, core.PMEMNoLog} {
-			traces, err := logging.Generate(w, s, cfg)
-			if err != nil {
-				return nil, err
-			}
-			sys, err := core.NewSystem(cfg, s, traces, w.InitImage)
-			if err != nil {
-				return nil, err
-			}
-			rep, err := sys.Run(0)
-			if err != nil {
-				return nil, err
-			}
-			switch s {
-			case core.PMEM:
-				base = rep
-			case core.Proteus:
-				proteus = rep
-			case core.PMEMNoLog:
-				ideal = rep
-			}
+		proteus, err := s.run(job(core.Proteus))
+		if err != nil {
+			return nil, err
+		}
+		ideal, err := s.run(job(core.PMEMNoLog))
+		if err != nil {
+			return nil, err
 		}
 		row := fmt.Sprintf("%d", n)
 		res.Speedups.Set(row, "Proteus", proteus.Speedup(base))
 		res.Speedups.Set(row, "PMEM+nolog(ideal)", ideal.Speedup(base))
-		txns := float64(p.SimOps * opt.Threads)
+		txns := float64(p.SimOps * s.opt.Threads)
 		var logLoads, flushes uint64
 		for i := range proteus.CoreStat {
 			logLoads += proteus.CoreStat[i].LogLoads
@@ -368,14 +434,19 @@ func Table3(opt Options) (*Table3Result, error) {
 }
 
 // Table4 reproduces the LLT miss rates (64-entry LLT).
-func Table4(opt Options) (*stats.Table, error) {
-	cfg := config.Default()
-	cfg.Cores = opt.Threads
-	r := newRunner(opt)
+func (s *Suite) Table4() (*stats.Table, error) {
+	cfg := s.config()
+	var jobs []engine.Job
+	for _, k := range workload.Table2 {
+		jobs = append(jobs, s.job(k, core.Proteus, cfg))
+	}
+	if err := s.eng.RunAll(s.ctx, jobs); err != nil {
+		return nil, err
+	}
 	tab := stats.NewTable("Table 4: LLT miss rate (%), 64-entry 8-way LLT", "bench", benchRows(), []string{"miss rate"})
 	tab.Format = "%8.1f"
 	for _, k := range workload.Table2 {
-		rep, err := r.run(k, core.Proteus, cfg)
+		rep, err := s.run(s.job(k, core.Proteus, cfg))
 		if err != nil {
 			return nil, err
 		}
@@ -386,22 +457,31 @@ func Table4(opt Options) (*stats.Table, error) {
 
 // LogQMemoryDelta reproduces the §7.2 observation: the speedup gained by
 // growing the LogQ from 8 to 16 entries on NVM vs on DRAM.
-func LogQMemoryDelta(opt Options) (nvmDelta, dramDelta float64, err error) {
+func (s *Suite) LogQMemoryDelta() (nvmDelta, dramDelta float64, err error) {
 	for i, kind := range []config.MemKind{config.NVMFast, config.DRAM} {
-		cfg := config.Default().WithMemKind(kind)
-		cfg.Cores = opt.Threads
-		r := newRunner(opt)
+		cfg := s.config().WithMemKind(kind)
+		variants := map[int]config.Config{}
+		var jobs []engine.Job
+		for _, n := range []int{8, 16} {
+			c := cfg
+			c.Proteus.LogQ = n
+			variants[n] = c
+			for _, k := range workload.Table2 {
+				jobs = append(jobs, s.job(k, core.PMEM, cfg), s.job(k, core.Proteus, c))
+			}
+		}
+		if err := s.eng.RunAll(s.ctx, jobs); err != nil {
+			return 0, 0, err
+		}
 		var sp [2]float64 // LogQ 8, 16 geomean speedups
 		for j, n := range []int{8, 16} {
 			var speedups []float64
 			for _, k := range workload.Table2 {
-				base, err := r.run(k, core.PMEM, cfg)
+				base, err := s.run(s.job(k, core.PMEM, cfg))
 				if err != nil {
 					return 0, 0, err
 				}
-				c := cfg
-				c.Proteus.LogQ = n
-				rep, err := r.run(k, core.Proteus, c)
+				rep, err := s.run(s.job(k, core.Proteus, variants[n]))
 				if err != nil {
 					return 0, 0, err
 				}
@@ -416,4 +496,41 @@ func LogQMemoryDelta(opt Options) (nvmDelta, dramDelta float64, err error) {
 		}
 	}
 	return nvmDelta, dramDelta, nil
+}
+
+// ------------------------------------------------------------------------
+// Package-level wrappers: each runs on a fresh single-figure suite. Tools
+// that generate several figures should share one Suite instead, so common
+// tuples are simulated once.
+
+// Figure6 reproduces the NVMM speedup comparison (see Suite.Figure6).
+func Figure6(opt Options) (*stats.Table, error) { return NewSuite(nil, opt, nil).Figure6() }
+
+// Figure7 reproduces the front-end stall comparison (see Suite.Figure7).
+func Figure7(opt Options) (*stats.Table, error) { return NewSuite(nil, opt, nil).Figure7() }
+
+// Figure8 reproduces the NVMM write comparison (see Suite.Figure8).
+func Figure8(opt Options) (*stats.Table, error) { return NewSuite(nil, opt, nil).Figure8() }
+
+// Figure9 reproduces the slow-NVMM study (see Suite.Figure9).
+func Figure9(opt Options) (*stats.Table, error) { return NewSuite(nil, opt, nil).Figure9() }
+
+// Figure10 reproduces the DRAM study (see Suite.Figure10).
+func Figure10(opt Options) (*stats.Table, error) { return NewSuite(nil, opt, nil).Figure10() }
+
+// Figure11 reproduces the LogQ-size sensitivity (see Suite.Figure11).
+func Figure11(opt Options) (*stats.Table, error) { return NewSuite(nil, opt, nil).Figure11() }
+
+// Figure12 reproduces the LPQ-size sensitivity (see Suite.Figure12).
+func Figure12(opt Options) (*stats.Table, error) { return NewSuite(nil, opt, nil).Figure12() }
+
+// Table3 runs the large-transaction sweep (see Suite.Table3).
+func Table3(opt Options) (*Table3Result, error) { return NewSuite(nil, opt, nil).Table3() }
+
+// Table4 reproduces the LLT miss rates (see Suite.Table4).
+func Table4(opt Options) (*stats.Table, error) { return NewSuite(nil, opt, nil).Table4() }
+
+// LogQMemoryDelta reproduces the §7.2 delta (see Suite.LogQMemoryDelta).
+func LogQMemoryDelta(opt Options) (nvmDelta, dramDelta float64, err error) {
+	return NewSuite(nil, opt, nil).LogQMemoryDelta()
 }

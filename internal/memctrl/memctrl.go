@@ -60,12 +60,14 @@ type Controller struct {
 	maxWPQAge uint64
 }
 
-// New returns a controller draining into dev/store.
+// New returns a controller draining into dev/store. The drain policy
+// (hold-back threshold and maximum entry age) comes from the configuration
+// so the §4.3 scheduling parameters can be swept like the queue capacities.
 func New(cfg config.Mem, dev *nvm.Device, store *nvm.Store, st *stats.Mem) *Controller {
 	return &Controller{
 		cfg: cfg, dev: dev, store: store, st: st,
-		drainHi:   8,
-		maxWPQAge: 48,
+		drainHi:   cfg.DrainHi,
+		maxWPQAge: uint64(cfg.MaxWPQAge),
 	}
 }
 

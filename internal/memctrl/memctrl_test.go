@@ -273,3 +273,32 @@ func TestAtomTxEndCancelsAndInvalidates(t *testing.T) {
 		t.Fatal("cancelled entry resurrected in NVM")
 	}
 }
+
+// TestDrainPolicyConfigurable verifies the WPQ hold-back policy follows
+// config.Mem: an aggressive policy drains a lone write promptly, while a
+// lazy one holds it far beyond the default age for coalescing.
+func TestDrainPolicyConfigurable(t *testing.T) {
+	run := func(drainHi, maxAge int) bool {
+		cfg := config.Default().Mem
+		cfg.DrainHi = drainHi
+		cfg.MaxWPQAge = maxAge
+		st := &stats.Mem{}
+		store := nvm.NewStore()
+		dev := nvm.NewDevice(cfg, st)
+		c := New(cfg, dev, store, st)
+		var data [isa.LineSize]byte
+		if !c.WriteLine(1, isa.HeapBase, data, stats.WriteData) {
+			t.Fatal("write refused")
+		}
+		for now := uint64(2); now < 2000; now++ {
+			c.Tick(now)
+		}
+		return c.WPQEmpty()
+	}
+	if !run(0, 1) {
+		t.Error("eager policy (hi=0, age=1) left the write pending")
+	}
+	if run(127, 100_000) {
+		t.Error("lazy policy (hi=127, age=100000) drained a lone young write")
+	}
+}
