@@ -10,11 +10,16 @@ package repro_test
 
 import (
 	"context"
+	"io"
 	"testing"
 	"time"
 
+	"repro/internal/config"
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -270,6 +275,68 @@ func BenchmarkAblationWPQDrain(b *testing.B) {
 		b.Logf("\n%s", tab)
 		return tab.Get("geomean", "age=8"), nil
 	}, "eager-drain-slowdown")
+}
+
+// aluSystem builds a machine whose cores grind one enormous ALU op: the
+// Step loop runs indefinitely without touching memory or allocating,
+// isolating the per-cycle cost the trace layer adds.
+func aluSystem(tb testing.TB, cores int) *core.System {
+	tb.Helper()
+	cfg := config.Default()
+	cfg.Cores = cores
+	traces := make([]*isa.Trace, cores)
+	for i := range traces {
+		traces[i] = &isa.Trace{Thread: i, Ops: []isa.Op{{Kind: isa.Alu, Val: 1 << 30}}}
+	}
+	sys, err := core.NewSystem(cfg, core.Proteus, traces, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys
+}
+
+// TestNilTracerAddsNoAllocations is the observability layer's zero-cost
+// guard: with no tracer attached (the default), the simulation loop must
+// not allocate — the disabled path is one pointer nil-check per cycle.
+func TestNilTracerAddsNoAllocations(t *testing.T) {
+	sys := aluSystem(t, 4)
+	sys.Step(10_000) // warm up any lazy internal state
+	if allocs := testing.AllocsPerRun(50, func() { sys.Step(2_000) }); allocs != 0 {
+		t.Fatalf("untraced Step allocates %.1f times per 2k cycles, want 0", allocs)
+	}
+}
+
+// BenchmarkStepNilTracer measures the per-cycle cost of the simulation
+// loop with tracing disabled — the baseline BenchmarkStepTraced compares
+// against.
+func BenchmarkStepNilTracer(b *testing.B) {
+	sys := aluSystem(b, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Step(1_000)
+	}
+}
+
+// BenchmarkStepTraced is the same loop with a JSONL tracer sampling every
+// DefaultEpoch cycles into a discarded stream: the difference to
+// BenchmarkStepNilTracer is the layer's total enabled overhead.
+func BenchmarkStepTraced(b *testing.B) {
+	sys := aluSystem(b, 4)
+	tr, err := trace.NewJSONLTracer(io.Discard, trace.Meta{Label: "bench", Cores: 4}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.SetTracer(tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Step(1_000)
+	}
+	b.StopTimer()
+	if err := tr.Close(); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkAblationLLTSweep reports the QE miss rate at a 256-entry LLT.

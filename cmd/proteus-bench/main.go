@@ -14,12 +14,22 @@
 //	proteus-bench -fig 6         # just Figure 6
 //	proteus-bench -fig t3        # just Table 3
 //	proteus-bench -jobs 1        # serial (tables are identical either way)
+//	proteus-bench -fig 6 -trace-dir traces  # one JSONL trace per job
+//	proteus-bench -pprof localhost:6060     # live profiling of the harness
+//
+// With -csv the per-job metrics summary (cycles, wall time, failures) is
+// written next to the tables as metrics.json. A job that exceeds -timeout
+// fails alone: the remaining jobs complete and the affected table cells
+// render as "-".
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -29,6 +39,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -43,12 +54,28 @@ func main() {
 		jobs       = flag.Int("jobs", 0, "concurrent simulation jobs (0 = GOMAXPROCS)")
 		jobTimeout = flag.Duration("timeout", 0, "wall-clock limit per simulation job, e.g. 10m (0 = none)")
 		verbose    = flag.Bool("v", false, "log each simulation job to stderr as it finishes")
+		traceDir   = flag.String("trace-dir", "", "write one epoch-sampled JSONL trace per simulation job into this directory")
+		traceEpoch = flag.Uint64("trace-epoch", trace.DefaultEpoch, "cycles between trace samples (with -trace-dir)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
 	)
 	flag.Parse()
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			exitOn(err)
 		}
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			exitOn(err)
+		}
+	}
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "proteus-bench: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "proteus-bench: pprof:", err)
+			}
+		}()
 	}
 
 	opt := experiments.Options{Threads: *threads, SimScale: *simScale, InitScale: *initScale, Seed: *seed}
@@ -61,6 +88,22 @@ func main() {
 	defer stop()
 
 	econf := engine.Config{Workers: *jobs, JobTimeout: *jobTimeout}
+	if *traceDir != "" {
+		dir, epoch := *traceDir, *traceEpoch
+		econf.Trace = func(j engine.Job) (*trace.Tracer, error) {
+			f, err := os.Create(filepath.Join(dir, traceName(j)))
+			if err != nil {
+				return nil, err
+			}
+			meta := trace.Meta{Label: j.String(), Fingerprint: j.Fingerprint(), Cores: j.Config.Cores}
+			tr, err := trace.NewJSONLTracer(f, meta, epoch)
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			return tr, nil
+		}
+	}
 	if *verbose {
 		econf.Progress = func(ev engine.Event) {
 			if ev.Phase == engine.JobDone {
@@ -165,9 +208,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "proteus-bench: unknown experiment %q\n", *fig)
 		os.Exit(2)
 	}
+	if *csvDir != "" {
+		// The per-job metrics summary rides along with the tables: one row
+		// per executed simulation (cycles, wall time, failure if any).
+		data, err := json.MarshalIndent(eng.Metrics(), "", "  ")
+		exitOn(err)
+		exitOn(os.WriteFile(filepath.Join(*csvDir, "metrics.json"), append(data, '\n'), 0o644))
+	}
 	c := eng.Counters()
-	fmt.Fprintf(os.Stderr, "proteus-bench: %d simulations (%d duplicate requests served from cache, %d workloads built) in %v\n",
-		c.Simulated, c.Deduped, c.WorkloadsBuilt, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "proteus-bench: %d simulations (%d failed, %d duplicate requests served from cache, %d workloads built) in %v\n",
+		c.Simulated, c.Failed, c.Deduped, c.WorkloadsBuilt, time.Since(start).Round(time.Millisecond))
+	if c.Failed > 0 {
+		for _, m := range eng.Metrics() {
+			if m.Err != "" {
+				fmt.Fprintf(os.Stderr, "proteus-bench: failed: %s (%s): %s\n", m.Job, m.Fingerprint, m.Err)
+			}
+		}
+		// The tables already rendered with the survivors; the exit code
+		// still has to tell CI something was missing.
+		os.Exit(1)
+	}
+}
+
+// traceName builds a per-job trace filename: the readable tuple plus the
+// full-key fingerprint, which keeps jobs distinct even when they share a
+// workload kind, scheme and config (e.g. the Table 3 size sweep).
+func traceName(j engine.Job) string {
+	r := strings.NewReplacer("/", "_", "+", "-", " ", "")
+	return r.Replace(j.String()) + "-" + j.Fingerprint() + ".jsonl"
 }
 
 func wrap[T fmt.Stringer](f func() (T, error)) func() (fmt.Stringer, error) {

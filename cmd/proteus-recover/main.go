@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/logging"
 	"repro/internal/recovery"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -29,6 +30,8 @@ func main() {
 		threads    = flag.Int("threads", 2, "worker threads / cores")
 		simOps     = flag.Int("simops", 64, "timed operations per thread")
 		seed       = flag.Int64("seed", 42, "workload seed")
+		traceOut   = flag.String("trace", "", "write an epoch-sampled JSONL trace of the full (pre-crash) run to this file")
+		traceEpoch = flag.Uint64("trace-epoch", trace.DefaultEpoch, "cycles between trace samples")
 	)
 	flag.Parse()
 
@@ -68,9 +71,19 @@ func main() {
 	traces, err := logging.Generate(w, scheme, cfg)
 	exitOn(err)
 
-	// Learn the full run length.
+	// Learn the full run length. The optional trace records this run, so
+	// the timeline shows the queue state around any candidate crash point.
 	full, err := core.NewSystem(cfg, scheme, traces, w.InitImage)
 	exitOn(err)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		exitOn(err)
+		meta := trace.Meta{Label: fmt.Sprintf("%v/%v/recover", kind, scheme), Fingerprint: cfg.Fingerprint(), Cores: cfg.Cores}
+		tr, err := trace.NewJSONLTracer(f, meta, *traceEpoch)
+		exitOn(err)
+		full.SetTracer(tr)
+		defer func() { exitOn(tr.Close()) }()
+	}
 	_, err = full.Run(0)
 	exitOn(err)
 	total := full.Cycle()

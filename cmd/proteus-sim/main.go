@@ -4,6 +4,11 @@
 // Example:
 //
 //	proteus-sim -bench AT -scheme Proteus -mem nvm-fast -simops 400
+//	proteus-sim -bench QE -scheme Proteus -trace qe.jsonl -trace-epoch 5000
+//
+// -trace records an epoch-sampled JSONL trace of the run (ROB/LSQ/LogQ
+// occupancy, stall causes, WPQ/LPQ depth, NVM bank pressure); render it
+// with proteus-trace -timeline.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -34,6 +40,8 @@ func main() {
 		logQ       = flag.Int("logq", 16, "Proteus LogQ entries")
 		lpq        = flag.Int("lpq", 256, "LPQ entries")
 		jobTimeout = flag.Duration("timeout", 0, "wall-clock limit for the simulation, e.g. 10m (0 = none)")
+		traceOut   = flag.String("trace", "", "write an epoch-sampled JSONL trace of the run to this file")
+		traceEpoch = flag.Uint64("trace-epoch", trace.DefaultEpoch, "cycles between trace samples")
 	)
 	flag.Parse()
 
@@ -68,11 +76,30 @@ func main() {
 	defer stop()
 
 	fmt.Printf("building %v: threads=%d init=%d sim=%d ...\n", kind, p.Threads, p.InitOps, p.SimOps)
-	eng := engine.New(engine.Config{Workers: 1, JobTimeout: *jobTimeout})
+	econf := engine.Config{Workers: 1, JobTimeout: *jobTimeout}
+	if *traceOut != "" {
+		econf.Trace = func(j engine.Job) (*trace.Tracer, error) {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return nil, err
+			}
+			meta := trace.Meta{Label: j.String(), Fingerprint: j.Fingerprint(), Cores: j.Config.Cores}
+			tr, err := trace.NewJSONLTracer(f, meta, *traceEpoch)
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			return tr, nil
+		}
+	}
+	eng := engine.New(econf)
 	start := time.Now()
 	res, err := eng.Run(ctx, engine.Job{Kind: kind, Params: p, Scheme: scheme, Config: cfg})
 	exitOn(err)
 	fmt.Printf("simulated in %v\n", time.Since(start).Round(time.Millisecond))
+	if *traceOut != "" {
+		fmt.Printf("trace written to %s (1 sample per %d cycles)\n", *traceOut, *traceEpoch)
+	}
 
 	printReport(kind, scheme, memKind, res.Report, p)
 }

@@ -4,9 +4,13 @@
 // first transactions' micro-ops — the quickest way to see exactly what
 // each logging scheme adds to the instruction stream.
 //
+// It also renders epoch-sampled run traces (proteus-sim -trace /
+// proteus-bench -trace-dir) as an ASCII occupancy timeline.
+//
 // Example:
 //
 //	proteus-trace -bench QE -scheme PMEM -vs Proteus -dump 1
+//	proteus-trace -timeline qe.jsonl
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/logging"
+	"repro/internal/timeline"
 	"repro/internal/workload"
 )
 
@@ -31,8 +36,19 @@ func main() {
 		simOps    = flag.Int("simops", 32, "timed operations per thread")
 		threads   = flag.Int("threads", 1, "threads")
 		seed      = flag.Int64("seed", 42, "workload seed")
+		timelineF = flag.String("timeline", "", "render this JSONL run trace as an ASCII occupancy timeline and exit")
+		width     = flag.Int("width", timeline.DefaultWidth, "timeline chart width in columns")
 	)
 	flag.Parse()
+
+	if *timelineF != "" {
+		f, err := os.Open(*timelineF)
+		exitOn(err)
+		err = timeline.Render(os.Stdout, f, *width)
+		f.Close()
+		exitOn(err)
+		return
+	}
 
 	kind, err := parseBench(*benchName)
 	exitOn(err)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/memctrl"
 	"repro/internal/nvm"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Scheme is one of the logging designs the paper evaluates (§6).
@@ -103,6 +104,12 @@ type System struct {
 	cycle       uint64
 	drainCycles uint64
 	finished    bool
+
+	// Epoch-sampled tracing (nil = disabled; the only hot-path cost of
+	// the disabled state is the nil check in Step).
+	tracer    *trace.Tracer
+	traceNext uint64
+	sample    trace.Sample
 }
 
 // NewSystem builds a machine for the scheme. traces supplies one micro-op
@@ -149,6 +156,56 @@ func (s *System) Cycle() uint64 { return s.cycle }
 // Finished reports whether every core has drained its trace.
 func (s *System) Finished() bool { return s.finished }
 
+// SetTracer attaches an epoch-sampled tracer; call it before the run
+// starts. A nil tracer (the default) disables sampling entirely.
+func (s *System) SetTracer(t *trace.Tracer) {
+	s.tracer = t
+	if t != nil {
+		s.traceNext = s.cycle + t.Epoch()
+		s.sample.Cores = make([]trace.CoreSample, len(s.cores))
+	}
+}
+
+// emitSample snapshots the machine into the reused sample buffer and
+// forwards it to the tracer. Occupancies are instantaneous at the given
+// cycle; counters are cumulative, so the final sample equals the report.
+func (s *System) emitSample(cycle uint64, final bool) {
+	sm := &s.sample
+	sm.Cycle = cycle
+	sm.Final = final
+	for i, c := range s.cores {
+		cs := &sm.Cores[i]
+		st := &s.coreStats[i]
+		cs.ROB, cs.LoadQ, cs.StoreQ, cs.StoreBuf = c.Occupancy()
+		cs.LogQ = c.LogQDepth()
+		cs.FreeLogRegs = c.FreeLogRegs()
+		cs.ATOMInFlight = c.ATOMInFlight()
+		cs.Retired = st.Retired
+		cs.StallROB = st.StallCycles[stats.StallROB]
+		cs.StallLoadQ = st.StallCycles[stats.StallLoadQ]
+		cs.StallStoreQ = st.StallCycles[stats.StallStoreQ]
+		cs.StallLogReg = st.StallCycles[stats.StallLogReg]
+		cs.StallLogQ = st.StallCycles[stats.StallLogQ]
+		cs.SfenceWait = st.SfenceWait
+		cs.PcommitWait = st.PcommitWait
+	}
+	m := &s.memStat
+	sm.Mem = trace.MemSample{
+		WPQ:            s.mc.WPQLen(),
+		LPQ:            s.mc.LPQLen(),
+		ReadQ:          s.mc.ReadQLen(),
+		BusyBanks:      s.dev.BusyBanks(cycle),
+		Reads:          m.Reads,
+		WritesData:     m.Writes[stats.WriteData],
+		WritesLog:      m.Writes[stats.WriteLog],
+		WritesTruncate: m.Writes[stats.WriteTruncate],
+		LPQAccepted:    m.LPQAccepted,
+		LPQDropped:     m.LPQDropped,
+		LPQDrained:     m.LPQDrained,
+	}
+	s.tracer.Emit(sm)
+}
+
 // Step advances the machine by up to n cycles, stopping early when all
 // cores finish. It returns the number of cycles actually simulated.
 func (s *System) Step(n uint64) uint64 {
@@ -162,6 +219,10 @@ func (s *System) Step(n uint64) uint64 {
 			fin = fin && c.Done()
 		}
 		s.finished = fin
+		if s.tracer != nil && s.cycle >= s.traceNext {
+			s.traceNext = s.cycle + s.tracer.Epoch()
+			s.emitSample(s.cycle, false)
+		}
 	}
 	return done
 }
@@ -198,7 +259,17 @@ func (s *System) RunContext(ctx context.Context, maxCycles uint64) (*stats.Repor
 		s.mc.Tick(s.cycle + s.drainCycles)
 	}
 	s.mc.ForceDrain(false)
-	return s.Report(), nil
+	rep := s.Report()
+	if s.tracer != nil {
+		// The final sample is taken after the residual drain, at the
+		// report's cycle count, so its cumulative totals match the
+		// end-of-run report exactly.
+		s.emitSample(rep.Cycles, true)
+		if err := s.tracer.Err(); err != nil {
+			return nil, fmt.Errorf("core: trace sink failed (scheme %v): %w", s.scheme, err)
+		}
+	}
+	return rep, nil
 }
 
 // DrainCycles returns how long the post-completion residual WPQ drain

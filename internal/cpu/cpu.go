@@ -228,6 +228,38 @@ func (c *Core) Done() bool { return c.finished }
 // DoneCycle returns the cycle at which the core drained (valid once Done).
 func (c *Core) DoneCycle() uint64 { return c.doneCycle }
 
+// Occupancy returns the instantaneous ROB, load-queue, store-queue and
+// store-buffer occupancy — the per-epoch snapshot the trace layer samples.
+func (c *Core) Occupancy() (rob, loadQ, storeQ, storeBuf int) {
+	return c.robCount, c.loads, c.stores, len(c.sb)
+}
+
+// LogQDepth returns the number of in-flight LogQ entries (Proteus).
+func (c *Core) LogQDepth() int {
+	n := 0
+	for i := range c.logQ {
+		if c.logQ[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// FreeLogRegs returns the number of free Proteus log registers.
+func (c *Core) FreeLogRegs() int {
+	n := 0
+	for i := range c.lr {
+		if !c.lr[i].busy {
+			n++
+		}
+	}
+	return n
+}
+
+// ATOMInFlight returns the outstanding hardware log-creation requests
+// (ATOM's serialized request queue).
+func (c *Core) ATOMInFlight() int { return len(c.atomQ) }
+
 // dtx returns the transaction the front end is dispatching for, nil
 // outside transactions.
 func (c *Core) dtx() *txState {

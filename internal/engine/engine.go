@@ -13,9 +13,12 @@ package engine
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,8 +27,16 @@ import (
 	"repro/internal/core"
 	"repro/internal/logging"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// ErrJobTimeout marks a per-job wall-clock timeout (Config.JobTimeout).
+// Unlike a cancellation of the caller's context, a job timeout is a
+// property of the job under this engine's configuration: the failure is
+// memoized, surfaced in Counters and Metrics, and does not abort the
+// sibling jobs of a RunAll.
+var ErrJobTimeout = errors.New("job timeout exceeded")
 
 // Job names one simulation: build (or reuse) the workload for
 // (Kind, Params), generate the Scheme's traces under Config with the
@@ -55,6 +66,15 @@ type jobKey struct {
 
 func (j Job) key() jobKey {
 	return jobKey{j.Kind, j.Params, j.Scheme, j.Config.Fingerprint(), j.Log}
+}
+
+// Fingerprint returns a short stable digest of the complete job tuple
+// (the memoization key, params and logging options included). It is what
+// per-job artifacts — trace files, metrics rows — use to stay unique even
+// when two jobs share a workload kind, scheme and config.
+func (j Job) Fingerprint() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%#v", j.key())))
+	return hex.EncodeToString(h[:8])
 }
 
 type wlKey struct {
@@ -109,10 +129,16 @@ type Event struct {
 type Config struct {
 	// Workers bounds concurrent simulations; <= 0 means GOMAXPROCS.
 	Workers int
-	// JobTimeout is a wall-clock bound per simulation; 0 means none.
+	// JobTimeout is a wall-clock bound per simulation; 0 means none. An
+	// expiry fails only that job (ErrJobTimeout): siblings keep running.
 	JobTimeout time.Duration
 	// Progress, when non-nil, receives an Event per job transition.
 	Progress func(Event)
+	// Trace, when non-nil, is consulted once per executed simulation
+	// (memo hits replay no trace) and returns the tracer the run records
+	// into; a nil tracer skips tracing for that job. The engine closes
+	// the tracer when the simulation finishes.
+	Trace func(Job) (*trace.Tracer, error)
 }
 
 // Counters reports what an engine has executed so far.
@@ -123,6 +149,24 @@ type Counters struct {
 	Deduped uint64
 	// WorkloadsBuilt counts distinct (kind, params) workload builds.
 	WorkloadsBuilt uint64
+	// Failed counts executed jobs that ended in a memoized failure (a
+	// job timeout or a simulation error); suite cancellations, which are
+	// retried on the next Run, are not counted.
+	Failed uint64
+}
+
+// JobMetric records one executed simulation for the metrics summary.
+type JobMetric struct {
+	// Job is the human-readable tuple name (workload/scheme/mem).
+	Job string `json:"job"`
+	// Fingerprint is Job.Fingerprint(): unique per memoization key.
+	Fingerprint string `json:"fingerprint"`
+	// Cycles is the simulated cycle count of the run (0 on failure).
+	Cycles uint64 `json:"cycles"`
+	// Wall is the wall-clock duration of the simulation.
+	Wall time.Duration `json:"wall_ns"`
+	// Err is the failure message, empty for a successful run.
+	Err string `json:"err,omitempty"`
 }
 
 // Engine runs simulation jobs. It is safe for concurrent use; all methods
@@ -135,9 +179,13 @@ type Engine struct {
 	jobs map[jobKey]*jobEntry
 	wls  map[wlKey]*wlEntry
 
+	metricsMu sync.Mutex
+	metrics   []JobMetric
+
 	simulated atomic.Uint64
 	deduped   atomic.Uint64
 	built     atomic.Uint64
+	failed    atomic.Uint64
 }
 
 type jobEntry struct {
@@ -171,7 +219,37 @@ func (e *Engine) Counters() Counters {
 		Simulated:      e.simulated.Load(),
 		Deduped:        e.deduped.Load(),
 		WorkloadsBuilt: e.built.Load(),
+		Failed:         e.failed.Load(),
 	}
+}
+
+// Metrics returns one entry per executed simulation (memo hits excluded),
+// sorted by job name then fingerprint so the summary is deterministic
+// regardless of completion order.
+func (e *Engine) Metrics() []JobMetric {
+	e.metricsMu.Lock()
+	out := append([]JobMetric(nil), e.metrics...)
+	e.metricsMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Job != out[j].Job {
+			return out[i].Job < out[j].Job
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}
+
+func (e *Engine) recordMetric(j Job, res *Result, err error, elapsed time.Duration) {
+	m := JobMetric{Job: j.String(), Fingerprint: j.Fingerprint(), Wall: elapsed}
+	if res != nil && res.Report != nil {
+		m.Cycles = res.Report.Cycles
+	}
+	if err != nil {
+		m.Err = err.Error()
+	}
+	e.metricsMu.Lock()
+	e.metrics = append(e.metrics, m)
+	e.metricsMu.Unlock()
 }
 
 func (e *Engine) emit(ev Event) {
@@ -204,57 +282,61 @@ func (e *Engine) Run(ctx context.Context, j Job) (*Result, error) {
 
 	start := time.Now()
 	res, err := e.simulate(ctx, j)
-	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+	elapsed := time.Since(start)
+	if err != nil && !errors.Is(err, ErrJobTimeout) &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 		// Cancellation is a property of this invocation, not of the job:
-		// forget the entry so a later call can retry.
+		// forget the entry so a later call can retry. A per-job timeout
+		// (ErrJobTimeout) is NOT a cancellation — it stays memoized as a
+		// failure so table assembly does not wait out the timeout twice.
 		e.mu.Lock()
 		delete(e.jobs, key)
 		e.mu.Unlock()
+	} else {
+		if err != nil {
+			e.failed.Add(1)
+		}
+		e.recordMetric(j, res, err, elapsed)
 	}
 	ent.res, ent.err = res, err
 	close(ent.done)
-	e.emit(Event{Job: j, Phase: JobDone, Err: err, Elapsed: time.Since(start)})
+	e.emit(Event{Job: j, Phase: JobDone, Err: err, Elapsed: elapsed})
 	return res, err
 }
 
 // RunAll runs every job concurrently (bounded by the worker pool) and
-// waits for all of them. The first failure cancels the jobs still pending
-// and is returned; results stay memoized for later Run calls.
+// waits for all of them. A per-job failure — a simulation error or a
+// Config.JobTimeout expiry — does not abort the siblings: the suite
+// drains every job, the failure stays memoized (a later Run for the tuple
+// returns it instantly), and it is surfaced through Counters().Failed and
+// Metrics(). Only cancellation of ctx itself stops the suite early, and
+// only that cancellation is returned as RunAll's error.
 func (e *Engine) RunAll(ctx context.Context, jobs []Job) error {
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		first error
-	)
+	var wg sync.WaitGroup
 	for _, j := range jobs {
 		j := j
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := e.Run(ctx, j); err != nil {
-				mu.Lock()
-				if first == nil {
-					first = err
-					cancel()
-				}
-				mu.Unlock()
-			}
+			_, _ = e.Run(ctx, j)
 		}()
 	}
 	wg.Wait()
-	return first
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("engine: suite cancelled: %w", err)
+	}
+	return nil
 }
 
 // simulate executes one job on a worker slot.
-func (e *Engine) simulate(ctx context.Context, j Job) (*Result, error) {
+func (e *Engine) simulate(parent context.Context, j Job) (*Result, error) {
 	select {
 	case e.sem <- struct{}{}:
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	case <-parent.Done():
+		return nil, parent.Err()
 	}
 	defer func() { <-e.sem }()
+	ctx := parent
 	if e.conf.JobTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.conf.JobTimeout)
@@ -262,6 +344,17 @@ func (e *Engine) simulate(ctx context.Context, j Job) (*Result, error) {
 	}
 	e.emit(Event{Job: j, Phase: JobStart})
 
+	res, err := e.simulate1(ctx, j)
+	if err != nil && errors.Is(err, context.DeadlineExceeded) && parent.Err() == nil {
+		// The per-job deadline expired while the suite is still live:
+		// report it as a job failure, not a cancellation.
+		return nil, fmt.Errorf("engine: %v: %w after %v", j, ErrJobTimeout, e.conf.JobTimeout)
+	}
+	return res, err
+}
+
+// simulate1 builds and runs the machine under an already-bounded context.
+func (e *Engine) simulate1(ctx context.Context, j Job) (*Result, error) {
 	w, err := e.workloadFor(ctx, j.Kind, j.Params)
 	if err != nil {
 		return nil, err
@@ -278,9 +371,24 @@ func (e *Engine) simulate(ctx context.Context, j Job) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("engine: %v: %w", j, err)
 	}
-	rep, err := sys.RunContext(ctx, 0)
-	if err != nil {
-		return nil, fmt.Errorf("engine: %v: %w", j, err)
+	var tr *trace.Tracer
+	if e.conf.Trace != nil {
+		tr, err = e.conf.Trace(j)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %v: opening trace: %w", j, err)
+		}
+		if tr != nil {
+			sys.SetTracer(tr)
+		}
+	}
+	rep, runErr := sys.RunContext(ctx, 0)
+	if tr != nil {
+		if cerr := tr.Close(); cerr != nil && runErr == nil {
+			runErr = fmt.Errorf("closing trace: %w", cerr)
+		}
+	}
+	if runErr != nil {
+		return nil, fmt.Errorf("engine: %v: %w", j, runErr)
 	}
 	e.simulated.Add(1)
 	return &Result{Report: rep, EmittedLogFlushes: emitted}, nil

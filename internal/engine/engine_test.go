@@ -108,18 +108,78 @@ func TestCancelledRunRetries(t *testing.T) {
 
 func TestJobTimeout(t *testing.T) {
 	e := New(Config{Workers: 1, JobTimeout: time.Nanosecond})
-	if _, err := e.Run(context.Background(), testJob(core.PMEM)); !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	if _, err := e.Run(context.Background(), testJob(core.PMEM)); !errors.Is(err, ErrJobTimeout) {
+		t.Fatalf("err = %v, want ErrJobTimeout", err)
+	}
+	// A job timeout is a memoized failure, not a cancellation: the retry
+	// answers from the memo table instead of waiting out the timeout again.
+	start := time.Now()
+	if _, err := e.Run(context.Background(), testJob(core.PMEM)); !errors.Is(err, ErrJobTimeout) {
+		t.Fatalf("memoized retry: err = %v, want ErrJobTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("memoized retry took %v; the failure was re-simulated", elapsed)
+	}
+	if c := e.Counters(); c.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1", c.Failed)
 	}
 }
 
-func TestRunAllFirstErrorCancelsRest(t *testing.T) {
+func TestRunAllDrainsPastJobFailure(t *testing.T) {
 	e := New(Config{Workers: 1})
 	bad := testJob(core.PMEM)
 	bad.Config.Cores = 0 // fails validation inside NewSystem
-	err := e.RunAll(context.Background(), []Job{bad, testJob(core.Proteus)})
-	if err == nil {
-		t.Fatal("RunAll swallowed the failure")
+	good := testJob(core.Proteus)
+	if err := e.RunAll(context.Background(), []Job{bad, good}); err != nil {
+		t.Fatalf("RunAll aborted the suite on a per-job failure: %v", err)
+	}
+	if _, err := e.Run(context.Background(), bad); err == nil {
+		t.Fatal("bad job's failure was not memoized")
+	}
+	res, err := e.Run(context.Background(), good)
+	if err != nil || res.Report.Cycles == 0 {
+		t.Fatalf("good job did not complete: res=%v err=%v", res, err)
+	}
+	if c := e.Counters(); c.Failed != 1 || c.Simulated != 1 {
+		t.Fatalf("counters %+v, want 1 failed / 1 simulated", c)
+	}
+}
+
+// TestRunAllDrainsPastTimeout is the regression test for the suite-abort
+// bug: one job forced past Config.JobTimeout must fail alone while every
+// sibling runs to completion.
+func TestRunAllDrainsPastTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a deliberately slow simulation")
+	}
+	e := New(Config{Workers: 2, JobTimeout: 300 * time.Millisecond})
+	slow := testJob(core.PMEM)
+	slow.Params.SimOps = 30000 // seconds of simulation: cannot beat the timeout
+	fast := []Job{testJob(core.Proteus), testJob(core.ATOM), testJob(core.PMEMNoLog)}
+
+	if err := e.RunAll(context.Background(), append([]Job{slow}, fast...)); err != nil {
+		t.Fatalf("RunAll aborted the suite on a job timeout: %v", err)
+	}
+	if _, err := e.Run(context.Background(), slow); !errors.Is(err, ErrJobTimeout) {
+		t.Fatalf("slow job: err = %v, want ErrJobTimeout", err)
+	}
+	for _, j := range fast {
+		res, err := e.Run(context.Background(), j)
+		if err != nil || res.Report.Cycles == 0 {
+			t.Fatalf("sibling %v did not survive the slow job: res=%v err=%v", j, res, err)
+		}
+	}
+	if c := e.Counters(); c.Failed != 1 || c.Simulated != uint64(len(fast)) {
+		t.Fatalf("counters %+v, want 1 failed / %d simulated", c, len(fast))
+	}
+	var failed int
+	for _, m := range e.Metrics() {
+		if m.Err != "" {
+			failed++
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("metrics report %d failed jobs, want 1:\n%+v", failed, e.Metrics())
 	}
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -42,16 +43,20 @@ func (s *Suite) PersistencyModels() (*stats.Table, error) {
 	}
 	tab := stats.NewTable("Ablation: persistency models on software logging (slowdown vs durable-tx)", "bench", benchRows(), cols)
 	for _, k := range workload.Table2 {
-		var base uint64
+		base, err := s.reportCell(job(k, logging.ModelDurableTx))
+		if err != nil {
+			return nil, err
+		}
 		for _, m := range models {
-			rep, err := s.run(job(k, m))
+			rep, err := s.reportCell(job(k, m))
 			if err != nil {
 				return nil, err
 			}
-			if m == logging.ModelDurableTx {
-				base = rep.Cycles
+			if base == nil || rep == nil || base.Cycles == 0 {
+				tab.Set(k.Abbrev(), m.String(), math.NaN())
+				continue
 			}
-			tab.Set(k.Abbrev(), m.String(), float64(rep.Cycles)/float64(base))
+			tab.Set(k.Abbrev(), m.String(), float64(rep.Cycles)/float64(base.Cycles))
 		}
 	}
 	tab.AddGeoMeanRow()
@@ -93,9 +98,13 @@ func (s *Suite) LLTSweep() (*stats.Table, error) {
 	tab.Format = "%8.1f"
 	for _, k := range workload.Table2 {
 		for _, n := range LLTSizes {
-			rep, err := s.run(s.job(k, core.Proteus, s.lltConfig(n)))
+			rep, err := s.reportCell(s.job(k, core.Proteus, s.lltConfig(n)))
 			if err != nil {
 				return nil, err
+			}
+			if rep == nil {
+				tab.Set(k.Abbrev(), fmt.Sprintf("LLT=%d", n), math.NaN())
+				continue
 			}
 			tab.Set(k.Abbrev(), fmt.Sprintf("LLT=%d", n), rep.LLTMissRate())
 		}
@@ -126,17 +135,23 @@ func (s *Suite) StaticVsDynamicFiltering() (*stats.Table, error) {
 	cols := []string{"dynamic(LLT)", "static(compiler)", "logops-emitted-ratio"}
 	tab := stats.NewTable("Ablation: LLT vs compiler-side log elimination", "bench", benchRows(), cols)
 	for _, k := range workload.Table2 {
-		base, err := s.run(s.job(k, core.PMEM, cfg))
+		base, err := s.reportCell(s.job(k, core.PMEM, cfg))
 		if err != nil {
 			return nil, err
 		}
-		dyn, err := s.eng.Run(s.ctx, s.job(k, core.Proteus, cfg))
-		if err != nil {
-			return nil, err
+		dyn, dynErr := s.eng.Run(s.ctx, s.job(k, core.Proteus, cfg))
+		st, stErr := s.eng.Run(s.ctx, static(k))
+		if s.ctx.Err() != nil {
+			if dynErr != nil {
+				return nil, dynErr
+			}
+			return nil, stErr
 		}
-		st, err := s.eng.Run(s.ctx, static(k))
-		if err != nil {
-			return nil, err
+		if base == nil || dynErr != nil || stErr != nil {
+			tab.Set(k.Abbrev(), "dynamic(LLT)", math.NaN())
+			tab.Set(k.Abbrev(), "static(compiler)", math.NaN())
+			tab.Set(k.Abbrev(), "logops-emitted-ratio", math.NaN())
+			continue
 		}
 		tab.Set(k.Abbrev(), "dynamic(LLT)", dyn.Report.Speedup(base))
 		tab.Set(k.Abbrev(), "static(compiler)", st.Report.Speedup(base))
@@ -178,20 +193,28 @@ func (s *Suite) ATOMInFlightSweep() (*stats.Table, error) {
 	cols = append(cols, "Proteus")
 	tab := stats.NewTable("Ablation: ATOM log-request pipelining (speedup vs PMEM)", "bench", benchRows(), cols)
 	for _, k := range workload.Table2 {
-		base, err := s.run(s.job(k, core.PMEM, cfg))
+		base, err := s.reportCell(s.job(k, core.PMEM, cfg))
 		if err != nil {
 			return nil, err
 		}
 		for _, n := range ATOMInFlightSizes {
-			rep, err := s.run(s.job(k, core.ATOM, variant(n)))
+			rep, err := s.reportCell(s.job(k, core.ATOM, variant(n)))
 			if err != nil {
 				return nil, err
 			}
+			if base == nil || rep == nil {
+				tab.Set(k.Abbrev(), fmt.Sprintf("inflight=%d", n), math.NaN())
+				continue
+			}
 			tab.Set(k.Abbrev(), fmt.Sprintf("inflight=%d", n), rep.Speedup(base))
 		}
-		rep, err := s.run(s.job(k, core.Proteus, cfg))
+		rep, err := s.reportCell(s.job(k, core.Proteus, cfg))
 		if err != nil {
 			return nil, err
+		}
+		if base == nil || rep == nil {
+			tab.Set(k.Abbrev(), "Proteus", math.NaN())
+			continue
 		}
 		tab.Set(k.Abbrev(), "Proteus", rep.Speedup(base))
 	}
@@ -230,14 +253,18 @@ func (s *Suite) WPQSweep() (*stats.Table, error) {
 	}
 	tab := stats.NewTable("Ablation: PMEM cycles normalized to WPQ=128", "bench", benchRows(), cols)
 	for _, k := range workload.Table2 {
-		base, err := s.run(s.job(k, core.PMEM, variant(128)))
+		base, err := s.reportCell(s.job(k, core.PMEM, variant(128)))
 		if err != nil {
 			return nil, err
 		}
 		for _, n := range WPQSizes {
-			rep, err := s.run(s.job(k, core.PMEM, variant(n)))
+			rep, err := s.reportCell(s.job(k, core.PMEM, variant(n)))
 			if err != nil {
 				return nil, err
+			}
+			if base == nil || rep == nil || base.Cycles == 0 {
+				tab.Set(k.Abbrev(), fmt.Sprintf("WPQ=%d", n), math.NaN())
+				continue
 			}
 			tab.Set(k.Abbrev(), fmt.Sprintf("WPQ=%d", n), float64(rep.Cycles)/float64(base.Cycles))
 		}
@@ -275,14 +302,18 @@ func (s *Suite) WPQDrainSweep() (*stats.Table, error) {
 	}
 	tab := stats.NewTable("Ablation: PMEM cycles vs WPQ drain age (normalized to age=48)", "bench", benchRows(), cols)
 	for _, k := range workload.Table2 {
-		base, err := s.run(s.job(k, core.PMEM, variant(48)))
+		base, err := s.reportCell(s.job(k, core.PMEM, variant(48)))
 		if err != nil {
 			return nil, err
 		}
 		for _, age := range WPQDrainAges {
-			rep, err := s.run(s.job(k, core.PMEM, variant(age)))
+			rep, err := s.reportCell(s.job(k, core.PMEM, variant(age)))
 			if err != nil {
 				return nil, err
+			}
+			if base == nil || rep == nil || base.Cycles == 0 {
+				tab.Set(k.Abbrev(), fmt.Sprintf("age=%d", age), math.NaN())
+				continue
 			}
 			tab.Set(k.Abbrev(), fmt.Sprintf("age=%d", age), float64(rep.Cycles)/float64(base.Cycles))
 		}

@@ -15,6 +15,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -109,11 +110,18 @@ func (s *Suite) job(k workload.Kind, scheme core.Scheme, cfg config.Config) engi
 	return engine.Job{Kind: k, Params: s.opt.params(k), Scheme: scheme, Config: cfg}
 }
 
-// run fetches one job's report (memoized by the engine).
-func (s *Suite) run(j engine.Job) (*stats.Report, error) {
+// reportCell fetches one job's report for a table cell. A per-job
+// failure (timeout, simulation error) yields a nil report and nil error:
+// the cell stays missing (NaN, rendered "-") while the rest of the
+// figure renders from the survivors. Only suite-level cancellation
+// aborts the figure.
+func (s *Suite) reportCell(j engine.Job) (*stats.Report, error) {
 	res, err := s.eng.Run(s.ctx, j)
 	if err != nil {
-		return nil, err
+		if s.ctx.Err() != nil {
+			return nil, err
+		}
+		return nil, nil
 	}
 	return res.Report, nil
 }
@@ -149,14 +157,18 @@ func (s *Suite) speedupFigure(kind config.MemKind, title string) (*stats.Table, 
 	}
 	tab := stats.NewTable(title, "bench", benchRows(), cols)
 	for _, k := range workload.Table2 {
-		base, err := s.run(s.job(k, core.PMEM, cfg))
+		base, err := s.reportCell(s.job(k, core.PMEM, cfg))
 		if err != nil {
 			return nil, err
 		}
 		for _, sc := range []core.Scheme{core.PMEMPcommit, core.ATOM, core.ProteusNoLWR, core.Proteus, core.PMEMNoLog} {
-			rep, err := s.run(s.job(k, sc, cfg))
+			rep, err := s.reportCell(s.job(k, sc, cfg))
 			if err != nil {
 				return nil, err
+			}
+			if base == nil || rep == nil {
+				tab.Set(k.Abbrev(), sc.String(), math.NaN())
+				continue
 			}
 			tab.Set(k.Abbrev(), sc.String(), rep.Speedup(base))
 		}
@@ -198,18 +210,22 @@ func (s *Suite) Figure7() (*stats.Table, error) {
 	cols := []string{core.ATOM.String(), core.Proteus.String(), core.PMEMNoLog.String()}
 	tab := stats.NewTable("Figure 7: front-end stall cycles (normalized to PMEM+nolog)", "bench", benchRows(), cols)
 	for _, k := range workload.Table2 {
-		ideal, err := s.run(s.job(k, core.PMEMNoLog, cfg))
+		ideal, err := s.reportCell(s.job(k, core.PMEMNoLog, cfg))
 		if err != nil {
 			return nil, err
 		}
-		base := float64(ideal.TotalFrontEndStalls())
-		if base == 0 {
-			base = 1
+		base := 1.0
+		if ideal != nil && ideal.TotalFrontEndStalls() > 0 {
+			base = float64(ideal.TotalFrontEndStalls())
 		}
 		for _, sc := range schemes {
-			rep, err := s.run(s.job(k, sc, cfg))
+			rep, err := s.reportCell(s.job(k, sc, cfg))
 			if err != nil {
 				return nil, err
+			}
+			if ideal == nil || rep == nil {
+				tab.Set(k.Abbrev(), sc.String(), math.NaN())
+				continue
 			}
 			stalls := float64(rep.TotalFrontEndStalls())
 			if stalls < 1 {
@@ -239,18 +255,22 @@ func (s *Suite) Figure8() (*stats.Table, error) {
 	cols := []string{core.PMEM.String(), core.ATOM.String(), core.Proteus.String(), core.PMEMNoLog.String()}
 	tab := stats.NewTable("Figure 8: NVMM writes (normalized to PMEM+nolog)", "bench", benchRows(), cols)
 	for _, k := range workload.Table2 {
-		ideal, err := s.run(s.job(k, core.PMEMNoLog, cfg))
+		ideal, err := s.reportCell(s.job(k, core.PMEMNoLog, cfg))
 		if err != nil {
 			return nil, err
 		}
-		base := float64(ideal.MemStat.NVMWrites())
-		if base == 0 {
-			base = 1
+		base := 1.0
+		if ideal != nil && ideal.MemStat.NVMWrites() > 0 {
+			base = float64(ideal.MemStat.NVMWrites())
 		}
 		for _, sc := range schemes {
-			rep, err := s.run(s.job(k, sc, cfg))
+			rep, err := s.reportCell(s.job(k, sc, cfg))
 			if err != nil {
 				return nil, err
+			}
+			if ideal == nil || rep == nil {
+				tab.Set(k.Abbrev(), sc.String(), math.NaN())
+				continue
 			}
 			tab.Set(k.Abbrev(), sc.String(), float64(rep.MemStat.NVMWrites())/base)
 		}
@@ -288,14 +308,18 @@ func (s *Suite) Figure11() (*stats.Table, error) {
 	}
 	tab := stats.NewTable("Figure 11: Proteus speedup vs LogQ size (baseline: PMEM)", "bench", benchRows(), cols)
 	for _, k := range workload.Table2 {
-		base, err := s.run(s.job(k, core.PMEM, cfg))
+		base, err := s.reportCell(s.job(k, core.PMEM, cfg))
 		if err != nil {
 			return nil, err
 		}
 		for _, n := range LogQSizes {
-			rep, err := s.run(s.job(k, core.Proteus, variants[n]))
+			rep, err := s.reportCell(s.job(k, core.Proteus, variants[n]))
 			if err != nil {
 				return nil, err
+			}
+			if base == nil || rep == nil {
+				tab.Set(k.Abbrev(), fmt.Sprintf("LogQ=%d", n), math.NaN())
+				continue
 			}
 			tab.Set(k.Abbrev(), fmt.Sprintf("LogQ=%d", n), rep.Speedup(base))
 		}
@@ -332,14 +356,18 @@ func (s *Suite) Figure12() (*stats.Table, error) {
 	}
 	tab := stats.NewTable("Figure 12: Proteus speedup vs LPQ size, LogQ=16 (baseline: PMEM)", "bench", benchRows(), cols)
 	for _, k := range workload.Table2 {
-		base, err := s.run(s.job(k, core.PMEM, cfg))
+		base, err := s.reportCell(s.job(k, core.PMEM, cfg))
 		if err != nil {
 			return nil, err
 		}
 		for _, n := range LPQSizes {
-			rep, err := s.run(s.job(k, core.Proteus, variants[n]))
+			rep, err := s.reportCell(s.job(k, core.Proteus, variants[n]))
 			if err != nil {
 				return nil, err
+			}
+			if base == nil || rep == nil {
+				tab.Set(k.Abbrev(), fmt.Sprintf("LPQ=%d", n), math.NaN())
+				continue
 			}
 			tab.Set(k.Abbrev(), fmt.Sprintf("LPQ=%d", n), rep.Speedup(base))
 		}
@@ -406,21 +434,34 @@ func (s *Suite) Table3() (*Table3Result, error) {
 		job := func(sc core.Scheme) engine.Job {
 			return engine.Job{Kind: workload.LinkedList, Params: p, Scheme: sc, Config: cfg}
 		}
-		base, err := s.run(job(core.PMEM))
+		base, err := s.reportCell(job(core.PMEM))
 		if err != nil {
 			return nil, err
 		}
-		proteus, err := s.run(job(core.Proteus))
+		proteus, err := s.reportCell(job(core.Proteus))
 		if err != nil {
 			return nil, err
 		}
-		ideal, err := s.run(job(core.PMEMNoLog))
+		ideal, err := s.reportCell(job(core.PMEMNoLog))
 		if err != nil {
 			return nil, err
 		}
 		row := fmt.Sprintf("%d", n)
-		res.Speedups.Set(row, "Proteus", proteus.Speedup(base))
-		res.Speedups.Set(row, "PMEM+nolog(ideal)", ideal.Speedup(base))
+		if base == nil || proteus == nil {
+			res.Speedups.Set(row, "Proteus", math.NaN())
+		} else {
+			res.Speedups.Set(row, "Proteus", proteus.Speedup(base))
+		}
+		if base == nil || ideal == nil {
+			res.Speedups.Set(row, "PMEM+nolog(ideal)", math.NaN())
+		} else {
+			res.Speedups.Set(row, "PMEM+nolog(ideal)", ideal.Speedup(base))
+		}
+		if proteus == nil {
+			res.EntriesPerTxn[n] = math.NaN()
+			res.FlushedPerTxn[n] = math.NaN()
+			continue
+		}
 		txns := float64(p.SimOps * s.opt.Threads)
 		var logLoads, flushes uint64
 		for i := range proteus.CoreStat {
@@ -446,9 +487,13 @@ func (s *Suite) Table4() (*stats.Table, error) {
 	tab := stats.NewTable("Table 4: LLT miss rate (%), 64-entry 8-way LLT", "bench", benchRows(), []string{"miss rate"})
 	tab.Format = "%8.1f"
 	for _, k := range workload.Table2 {
-		rep, err := s.run(s.job(k, core.Proteus, cfg))
+		rep, err := s.reportCell(s.job(k, core.Proteus, cfg))
 		if err != nil {
 			return nil, err
+		}
+		if rep == nil {
+			tab.Set(k.Abbrev(), "miss rate", math.NaN())
+			continue
 		}
 		tab.Set(k.Abbrev(), "miss rate", rep.LLTMissRate())
 	}
@@ -477,13 +522,16 @@ func (s *Suite) LogQMemoryDelta() (nvmDelta, dramDelta float64, err error) {
 		for j, n := range []int{8, 16} {
 			var speedups []float64
 			for _, k := range workload.Table2 {
-				base, err := s.run(s.job(k, core.PMEM, cfg))
+				base, err := s.reportCell(s.job(k, core.PMEM, cfg))
 				if err != nil {
 					return 0, 0, err
 				}
-				rep, err := s.run(s.job(k, core.Proteus, variants[n]))
+				rep, err := s.reportCell(s.job(k, core.Proteus, variants[n]))
 				if err != nil {
 					return 0, 0, err
+				}
+				if base == nil || rep == nil {
+					continue // failed run: geomean over the survivors
 				}
 				speedups = append(speedups, rep.Speedup(base))
 			}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/trace"
+)
+
+// TestFigureRendersSurvivorsPastJobFailure is the end-to-end regression
+// test for the suite-abort bug: when some jobs of a figure fail, the
+// figure must still render — failed cells as "-", the geomean over the
+// surviving rows — instead of erroring out or printing a 0.000 geomean.
+func TestFigureRendersSurvivorsPastJobFailure(t *testing.T) {
+	injected := errors.New("injected job failure")
+	eng := engine.New(engine.Config{Workers: 4, Trace: func(j engine.Job) (*trace.Tracer, error) {
+		if j.Scheme == core.ATOM {
+			return nil, injected
+		}
+		return nil, nil
+	}})
+	s := NewSuite(context.Background(), Quick(), eng)
+
+	tab, err := s.Figure6()
+	if err != nil {
+		t.Fatalf("figure aborted on per-job failures: %v", err)
+	}
+	// Every ATOM cell — including its geomean — is missing; the other
+	// columns are intact.
+	for _, row := range tab.Rows {
+		if v := tab.Get(row, core.ATOM.String()); !math.IsNaN(v) {
+			t.Errorf("ATOM cell %q = %v, want NaN (the job failed)", row, v)
+		}
+		if v := tab.Get(row, core.Proteus.String()); math.IsNaN(v) || v <= 0 {
+			t.Errorf("Proteus cell %q = %v, want a finite positive speedup", row, v)
+		}
+	}
+	out := tab.String()
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("raw NaN leaked into the rendered table:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing cells not rendered as -:\n%s", out)
+	}
+	if v := tab.Get("geomean", "Proteus"); math.IsNaN(v) || v <= 0 {
+		t.Fatalf("geomean over survivors = %v, want finite positive", v)
+	}
+
+	c := eng.Counters()
+	if c.Failed != 6 { // one ATOM job per Table 2 benchmark
+		t.Errorf("Failed = %d, want 6", c.Failed)
+	}
+	var failed int
+	for _, m := range eng.Metrics() {
+		if m.Err != "" {
+			failed++
+			if !strings.Contains(m.Err, injected.Error()) {
+				t.Errorf("metric error %q does not carry the cause", m.Err)
+			}
+		}
+	}
+	if failed != 6 {
+		t.Errorf("metrics report %d failures, want 6", failed)
+	}
+}

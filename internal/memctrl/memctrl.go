@@ -186,6 +186,9 @@ func (c *Controller) WPQFree() int {
 // WPQEmpty reports whether every accepted write has drained to NVM.
 func (c *Controller) WPQEmpty() bool { return len(c.wpq) == 0 }
 
+// ReadQLen returns the number of outstanding device reads (monitoring).
+func (c *Controller) ReadQLen() int { return len(c.reads) }
+
 // CurSeq returns the acceptance sequence number of the most recently
 // accepted write. A pcommit captures it and waits for WPQDrainedThrough —
 // writes accepted later (other cores') do not extend the wait.

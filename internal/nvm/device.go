@@ -169,6 +169,18 @@ func (d *Device) Access(now uint64, addr uint64, write bool, cause stats.WriteCa
 	return done
 }
 
+// BusyBanks counts banks still occupied at cycle now — the device-side
+// pressure signal the trace layer samples per epoch.
+func (d *Device) BusyBanks(now uint64) int {
+	n := 0
+	for i := range d.banks {
+		if d.banks[i].busyUntil > now {
+			n++
+		}
+	}
+	return n
+}
+
 // NextFree returns the earliest cycle at which the bank holding addr can
 // begin a new access; the memory-controller arbiter uses it to prefer
 // ready banks.

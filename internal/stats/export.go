@@ -22,7 +22,10 @@ func (t *Table) WriteCSV(w io.Writer) error {
 		rec := make([]string, 0, len(t.Cols)+1)
 		rec = append(rec, r)
 		for j := range t.Cols {
-			rec = append(rec, strconv.FormatFloat(t.Cells[i][j], 'g', 6, 64))
+			// Precision -1: the shortest representation that round-trips,
+			// so raw cycle counts above 1e6 (-paperscale) survive export
+			// unclipped. NaN cells export as "NaN".
+			rec = append(rec, strconv.FormatFloat(t.Cells[i][j], 'g', -1, 64))
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -6,6 +6,7 @@ package stats
 
 import (
 	"fmt"
+	"log"
 	"math"
 	"sort"
 	"strings"
@@ -216,20 +217,23 @@ func (r *Report) Speedup(base *Report) float64 {
 	return float64(base.Cycles) / float64(r.Cycles)
 }
 
-// GeoMean returns the geometric mean of xs; it returns 0 for an empty
-// slice or any non-positive element.
+// GeoMean returns the geometric mean of the positive elements of xs.
+// Non-positive and NaN elements — a failed or timed-out run's missing
+// cell — are skipped rather than zeroing the whole mean; when nothing
+// positive remains the result is NaN (rendered "-" by Table).
 func GeoMean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	sum := 0.0
+	sum, n := 0.0, 0
 	for _, x := range xs {
-		if x <= 0 {
-			return 0
+		if x <= 0 || math.IsNaN(x) {
+			continue
 		}
 		sum += math.Log(x)
+		n++
 	}
-	return math.Exp(sum / float64(len(xs)))
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(sum / float64(n))
 }
 
 // Table renders a fixed-width table: one row per name in rows, one column
@@ -275,12 +279,25 @@ func (t *Table) Get(row, col string) float64 {
 }
 
 // AddGeoMeanRow appends a "geomean" row computed over the current rows.
+// Rows whose cell is missing (NaN) or non-positive are skipped — the mean
+// covers the surviving benchmarks — and a warning names the dropped rows
+// so a partial summary is never mistaken for a complete one.
 func (t *Table) AddGeoMeanRow() {
 	row := make([]float64, len(t.Cols))
 	for c := range t.Cols {
 		col := make([]float64, 0, len(t.Rows))
+		var dropped []string
 		for r := range t.Rows {
-			col = append(col, t.Cells[r][c])
+			v := t.Cells[r][c]
+			if v <= 0 || math.IsNaN(v) {
+				dropped = append(dropped, t.Rows[r])
+				continue
+			}
+			col = append(col, v)
+		}
+		if len(dropped) > 0 {
+			log.Printf("stats: %s: geomean for %q computed without rows %v (missing or non-positive cells)",
+				t.Title, t.Cols[c], dropped)
 		}
 		row[c] = GeoMean(col)
 	}
@@ -328,6 +345,9 @@ func (t *Table) String() string {
 		fmt.Fprintf(&b, "%-*s", rw+2, r)
 		for j := range t.Cols {
 			cell := fmt.Sprintf(format, t.Cells[i][j])
+			if math.IsNaN(t.Cells[i][j]) {
+				cell = "-" // missing cell (failed or skipped run)
+			}
 			fmt.Fprintf(&b, "%*s", w, cell)
 		}
 		b.WriteByte('\n')

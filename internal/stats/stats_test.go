@@ -1,8 +1,10 @@
 package stats
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"math"
+	"strconv"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -12,11 +14,16 @@ func TestGeoMean(t *testing.T) {
 	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
 		t.Fatalf("geomean(2,8) = %v", g)
 	}
-	if g := GeoMean(nil); g != 0 {
-		t.Fatalf("geomean(nil) = %v", g)
+	if g := GeoMean(nil); !math.IsNaN(g) {
+		t.Fatalf("geomean(nil) = %v, want NaN", g)
 	}
-	if g := GeoMean([]float64{1, -1}); g != 0 {
-		t.Fatalf("geomean with negative = %v", g)
+	if g := GeoMean([]float64{-1, 0, math.NaN()}); !math.IsNaN(g) {
+		t.Fatalf("geomean of all-invalid = %v, want NaN", g)
+	}
+	// Non-positive and NaN cells (failed runs) are skipped, not zeroing:
+	// the mean covers the surviving elements.
+	if g := GeoMean([]float64{2, 8, -1, 0, math.NaN()}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("geomean skipping invalid = %v, want 4", g)
 	}
 	// Scale invariance: geomean(kx) = k*geomean(x).
 	prop := func(a, b uint8) bool {
@@ -112,6 +119,57 @@ func TestTableCSV(t *testing.T) {
 	want := "bench,x,y\nA,1.25,2.5\n"
 	if buf.String() != want {
 		t.Fatalf("csv:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+// TestTableCSVRoundTrip is the regression test for the precision-6
+// export bug: cells must survive CSV export byte-exactly, including raw
+// cycle counts far above 1e6 and NaN "missing" cells.
+func TestTableCSVRoundTrip(t *testing.T) {
+	tab := NewTable("t", "bench", []string{"A", "B"}, []string{"x", "y"})
+	tab.Set("A", "x", 123456789.25) // would clip to 1.23457e+08 at precision 6
+	tab.Set("A", "y", 0.3333333333333333)
+	tab.Set("B", "x", math.NaN()) // failed run: missing cell
+	tab.Set("B", "y", 2.5)
+	var buf strings.Builder
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(tab.Rows)+1 {
+		t.Fatalf("csv has %d records, want %d", len(recs), len(tab.Rows)+1)
+	}
+	for i, row := range tab.Rows {
+		for j, col := range tab.Cols {
+			got, err := strconv.ParseFloat(recs[i+1][j+1], 64)
+			if err != nil {
+				t.Fatalf("cell (%s,%s) = %q: %v", row, col, recs[i+1][j+1], err)
+			}
+			want := tab.Get(row, col)
+			if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Fatalf("cell (%s,%s) round-tripped to %v, want %v", row, col, got, want)
+			}
+		}
+	}
+}
+
+func TestTableStringRendersNaNAsDash(t *testing.T) {
+	tab := NewTable("t", "bench", []string{"A", "B"}, []string{"x"})
+	tab.Set("A", "x", 2.0)
+	tab.Set("B", "x", math.NaN())
+	tab.AddGeoMeanRow() // geomean over the survivor: 2.0
+	out := tab.String()
+	if !strings.Contains(out, "-") {
+		t.Fatalf("NaN cell not rendered as -:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("raw NaN leaked into rendering:\n%s", out)
+	}
+	if !strings.Contains(out, "2.000") {
+		t.Fatalf("geomean over survivors missing:\n%s", out)
 	}
 }
 

@@ -1,0 +1,209 @@
+// Package timeline renders an epoch-sampled trace (internal/trace JSONL)
+// as an ASCII occupancy chart: one row per machine structure, one column
+// per time bucket, glyphs scaled to the row's own peak. It is the
+// terminal-side view of the observability layer — enough to see where a
+// run queues up (a saturated LogQ, a WPQ that never drains, banks pinned
+// busy) without leaving the shell.
+package timeline
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// ramp maps a [0,1] intensity to a glyph; index 0 (exactly zero) renders
+// as a space so idle periods stay visually empty.
+const ramp = " .:-=+*#%@"
+
+// DefaultWidth is the chart width in columns when none is given.
+const DefaultWidth = 72
+
+// series is one chart row: a value per sample plus its label.
+type series struct {
+	label string
+	vals  []float64
+	// rate marks first-difference series (per-kilocycle rates); they are
+	// annotated differently and bucketed by mean rather than peak.
+	rate bool
+}
+
+// Render reads a JSONL trace from r and writes the chart to w. Width is
+// the number of chart columns (0 = DefaultWidth). Rows that stay zero for
+// the whole run (e.g. the LogQ under PMEM) are omitted.
+func Render(w io.Writer, r io.Reader, width int) error {
+	meta, samples, err := trace.Read(r)
+	if err != nil {
+		return err
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("timeline: trace has no samples")
+	}
+	if width <= 0 {
+		width = DefaultWidth
+	}
+	if len(samples) < width {
+		width = len(samples) // one column per sample; axis matches the chart
+	}
+
+	last := samples[len(samples)-1]
+	fmt.Fprintf(w, "%s  epoch=%d cycles=%d samples=%d cores=%d",
+		orUnlabelled(meta.Label), meta.Epoch, last.Cycle, len(samples), meta.Cores)
+	if meta.Fingerprint != "" {
+		fmt.Fprintf(w, " config=%s", meta.Fingerprint)
+	}
+	fmt.Fprintln(w)
+
+	rows := buildSeries(samples)
+	labelW := 0
+	for _, s := range rows {
+		if len(s.label) > labelW {
+			labelW = len(s.label)
+		}
+	}
+	for _, s := range rows {
+		max := 0.0
+		for _, v := range s.vals {
+			if v > max {
+				max = v
+			}
+		}
+		if max == 0 {
+			continue
+		}
+		cols := bucket(s.vals, width, s.rate)
+		var b strings.Builder
+		for _, v := range cols {
+			idx := int(v / max * float64(len(ramp)-1))
+			if v > 0 && idx == 0 {
+				idx = 1 // nonzero activity never renders as idle
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			b.WriteByte(ramp[idx])
+		}
+		unit := "peak"
+		if s.rate {
+			unit = "peak/kcyc"
+		}
+		fmt.Fprintf(w, "  %-*s |%s| %s %.5g\n", labelW, s.label, b.String(), unit, max)
+	}
+	fmt.Fprintf(w, "  %-*s  %s\n", labelW, "", axis(width, last.Cycle))
+	return nil
+}
+
+// RenderString is Render into a string (test and CLI convenience).
+func RenderString(r io.Reader, width int) (string, error) {
+	var b strings.Builder
+	if err := Render(&b, r, width); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func orUnlabelled(label string) string {
+	if label == "" {
+		return "(unlabelled trace)"
+	}
+	return label
+}
+
+// buildSeries turns the sample stream into chart rows: instantaneous
+// occupancies summed over cores, plus per-kilocycle rates derived as
+// first differences of the cumulative counters.
+func buildSeries(samples []trace.Sample) []series {
+	n := len(samples)
+	occ := func(label string, f func(*trace.Sample) float64) series {
+		s := series{label: label, vals: make([]float64, n)}
+		for i := range samples {
+			s.vals[i] = f(&samples[i])
+		}
+		return s
+	}
+	sumCores := func(f func(*trace.CoreSample) int) func(*trace.Sample) float64 {
+		return func(sm *trace.Sample) float64 {
+			t := 0
+			for i := range sm.Cores {
+				t += f(&sm.Cores[i])
+			}
+			return float64(t)
+		}
+	}
+	rate := func(label string, f func(*trace.Sample) float64) series {
+		s := series{label: label, vals: make([]float64, n), rate: true}
+		prevV, prevC := 0.0, uint64(0)
+		for i := range samples {
+			v, c := f(&samples[i]), samples[i].Cycle
+			if dc := c - prevC; dc > 0 {
+				s.vals[i] = (v - prevV) / float64(dc) * 1000
+			}
+			prevV, prevC = v, c
+		}
+		return s
+	}
+	sumRetired := sumCores(func(c *trace.CoreSample) int { return int(c.Retired) })
+	return []series{
+		occ("rob", sumCores(func(c *trace.CoreSample) int { return c.ROB })),
+		occ("loadq", sumCores(func(c *trace.CoreSample) int { return c.LoadQ })),
+		occ("storeq", sumCores(func(c *trace.CoreSample) int { return c.StoreQ })),
+		occ("storebuf", sumCores(func(c *trace.CoreSample) int { return c.StoreBuf })),
+		occ("logq", sumCores(func(c *trace.CoreSample) int { return c.LogQ })),
+		occ("atom-inflight", sumCores(func(c *trace.CoreSample) int { return c.ATOMInFlight })),
+		occ("wpq", func(sm *trace.Sample) float64 { return float64(sm.Mem.WPQ) }),
+		occ("lpq", func(sm *trace.Sample) float64 { return float64(sm.Mem.LPQ) }),
+		occ("readq", func(sm *trace.Sample) float64 { return float64(sm.Mem.ReadQ) }),
+		occ("busy-banks", func(sm *trace.Sample) float64 { return float64(sm.Mem.BusyBanks) }),
+		rate("retired", sumRetired),
+		rate("nvm-writes", func(sm *trace.Sample) float64 {
+			return float64(sm.Mem.WritesData + sm.Mem.WritesLog + sm.Mem.WritesTruncate)
+		}),
+		rate("nvm-reads", func(sm *trace.Sample) float64 { return float64(sm.Mem.Reads) }),
+		rate("stalls", sumCores(func(c *trace.CoreSample) int {
+			return int(c.StallROB + c.StallLoadQ + c.StallStoreQ + c.StallLogReg + c.StallLogQ)
+		})),
+	}
+}
+
+// bucket folds vals into width columns. Occupancy rows keep the bucket
+// peak (a one-epoch spike to a full queue must stay visible); rate rows
+// keep the mean.
+func bucket(vals []float64, width int, mean bool) []float64 {
+	if len(vals) <= width {
+		return vals
+	}
+	out := make([]float64, width)
+	for col := 0; col < width; col++ {
+		lo := col * len(vals) / width
+		hi := (col + 1) * len(vals) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if mean {
+			sum := 0.0
+			for _, v := range vals[lo:hi] {
+				sum += v
+			}
+			out[col] = sum / float64(hi-lo)
+		} else {
+			for _, v := range vals[lo:hi] {
+				if v > out[col] {
+					out[col] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// axis renders the time axis: cycle 0 to the final cycle.
+func axis(width int, lastCycle uint64) string {
+	lo, hi := "0", fmt.Sprintf("%d cycles", lastCycle)
+	pad := width - len(lo) - len(hi)
+	if pad < 1 {
+		pad = 1
+	}
+	return lo + strings.Repeat("-", pad) + hi
+}

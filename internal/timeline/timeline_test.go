@@ -1,0 +1,107 @@
+package timeline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// synthTrace builds an in-memory JSONL trace: n samples of a 2-core
+// Proteus-shaped run with a busy LogQ and WPQ but no ATOM activity.
+func synthTrace(t *testing.T, n int) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	sink, err := trace.NewJSONL(&buf, trace.Meta{Label: "QE/Proteus/nvm-fast", Fingerprint: "deadbeef", Epoch: 1000, Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		s := trace.Sample{
+			Cycle: uint64(i) * 1000,
+			Final: i == n,
+			Cores: []trace.CoreSample{
+				{ROB: 10 + i%7, LoadQ: i % 4, StoreQ: 2, LogQ: i % 9, FreeLogRegs: 8, Retired: uint64(i) * 300},
+				{ROB: 5, StoreBuf: 1, LogQ: (i + 3) % 9, FreeLogRegs: 8, Retired: uint64(i) * 290},
+			},
+			Mem: trace.MemSample{WPQ: i % 12, LPQ: i % 30, Reads: uint64(i) * 10, WritesData: uint64(i) * 4},
+		}
+		if err := sink.Emit(&s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestRenderTimeline(t *testing.T) {
+	out, err := RenderString(synthTrace(t, 200), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "QE/Proteus/nvm-fast") || !strings.Contains(out, "config=deadbeef") {
+		t.Fatalf("header missing label or fingerprint:\n%s", out)
+	}
+	for _, row := range []string{"rob", "logq", "wpq", "lpq", "retired", "nvm-writes"} {
+		if !strings.Contains(out, row) {
+			t.Fatalf("row %q missing:\n%s", row, out)
+		}
+	}
+	// The synthetic run has no ATOM traffic and never reads the read
+	// queue: all-zero rows must be omitted, not rendered flat.
+	for _, row := range []string{"atom-inflight", "readq", "busy-banks"} {
+		if strings.Contains(out, row) {
+			t.Fatalf("all-zero row %q rendered:\n%s", row, out)
+		}
+	}
+	if !strings.Contains(out, "200000 cycles") {
+		t.Fatalf("time axis missing final cycle:\n%s", out)
+	}
+	// Every chart line is exactly the requested width between its pipes.
+	for _, line := range strings.Split(out, "\n") {
+		lo, hi := strings.IndexByte(line, '|'), strings.LastIndexByte(line, '|')
+		if lo < 0 || hi <= lo {
+			continue
+		}
+		if got := hi - lo - 1; got != 60 {
+			t.Fatalf("chart width %d, want 60: %q", got, line)
+		}
+	}
+}
+
+func TestRenderFewSamplesNarrowsChart(t *testing.T) {
+	out, err := RenderString(synthTrace(t, 5), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		lo, hi := strings.IndexByte(line, '|'), strings.LastIndexByte(line, '|')
+		if lo < 0 || hi <= lo {
+			continue
+		}
+		if got := hi - lo - 1; got != 5 {
+			t.Fatalf("chart width %d, want 5 (one column per sample): %q", got, line)
+		}
+	}
+}
+
+func TestRenderRejectsBadInput(t *testing.T) {
+	if _, err := RenderString(strings.NewReader(""), 40); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	// A meta line with no samples is readable but unrenderable.
+	var buf bytes.Buffer
+	sink, err := trace.NewJSONL(&buf, trace.Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RenderString(&buf, 40); err == nil {
+		t.Fatal("sample-less trace accepted")
+	}
+}

@@ -1,0 +1,235 @@
+// Package trace is the simulator's epoch-sampled observability layer.
+// A System with a Tracer attached snapshots every structure the paper's
+// analysis reasons about — ROB/LSQ occupancy and stall-cause counters per
+// core (plus the Proteus LogQ/log-register and ATOM in-flight state),
+// WPQ/LPQ/read-queue depth and write-cause totals at the memory
+// controller, and bank pressure at the NVM device — once per epoch
+// (default every 10k cycles) and streams the samples as JSONL.
+//
+// Two contracts make the layer usable for divergence hunting:
+//
+//   - Counters are cumulative from cycle 0, so the final sample's totals
+//     equal the end-of-run stats report (asserted by the trace tests);
+//     per-epoch rates are first differences between adjacent samples.
+//   - A disabled tracer (nil *Tracer on the System) costs one pointer
+//     nil-check per simulated cycle and zero allocations; the guard lives
+//     in the repository's bench_test.go.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SchemaV1 names the JSONL schema emitted by this package.
+const SchemaV1 = "proteus-trace/v1"
+
+// DefaultEpoch is the sampling period in cycles when none is given.
+const DefaultEpoch = 10_000
+
+// Meta is the first record of a trace: everything a reader needs to
+// interpret the sample stream.
+type Meta struct {
+	Schema string `json:"schema"`
+	// Label identifies the run (typically "workload/scheme/mem").
+	Label string `json:"label,omitempty"`
+	// Fingerprint is the machine configuration's digest
+	// (config.Config.Fingerprint), tying a trace to its exact config.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Epoch is the sampling period in cycles.
+	Epoch uint64 `json:"epoch"`
+	Cores int    `json:"cores"`
+}
+
+// CoreSample is one core's state at an epoch boundary. Occupancy fields
+// are instantaneous; counter fields are cumulative since cycle 0.
+type CoreSample struct {
+	ROB      int `json:"rob"`
+	LoadQ    int `json:"loadq"`
+	StoreQ   int `json:"storeq"`
+	StoreBuf int `json:"storebuf"`
+	// Proteus structures (zero in other modes).
+	LogQ        int `json:"logq"`
+	FreeLogRegs int `json:"freelr"`
+	// ATOM outstanding hardware log-creation requests.
+	ATOMInFlight int `json:"atomq"`
+
+	Retired     uint64 `json:"retired"`
+	StallROB    uint64 `json:"stall_rob"`
+	StallLoadQ  uint64 `json:"stall_loadq"`
+	StallStoreQ uint64 `json:"stall_storeq"`
+	StallLogReg uint64 `json:"stall_logreg"`
+	StallLogQ   uint64 `json:"stall_logq"`
+	SfenceWait  uint64 `json:"sfence_wait"`
+	PcommitWait uint64 `json:"pcommit_wait"`
+}
+
+// MemSample is the memory-side state at an epoch boundary: queue depths
+// are instantaneous, traffic counters cumulative.
+type MemSample struct {
+	WPQ       int `json:"wpq"`
+	LPQ       int `json:"lpq"`
+	ReadQ     int `json:"readq"`
+	BusyBanks int `json:"busy_banks"`
+
+	Reads          uint64 `json:"reads"`
+	WritesData     uint64 `json:"writes_data"`
+	WritesLog      uint64 `json:"writes_log"`
+	WritesTruncate uint64 `json:"writes_truncate"`
+	LPQAccepted    uint64 `json:"lpq_accepted"`
+	LPQDropped     uint64 `json:"lpq_dropped"`
+	LPQDrained     uint64 `json:"lpq_drained"`
+}
+
+// Sample is one epoch snapshot — one JSONL line.
+type Sample struct {
+	Cycle uint64 `json:"cycle"`
+	// Final marks the end-of-run sample, taken after the residual WPQ
+	// drain; its counters equal the stats report.
+	Final bool         `json:"final,omitempty"`
+	Cores []CoreSample `json:"cores"`
+	Mem   MemSample    `json:"mem"`
+}
+
+// Sink consumes samples. Implementations are driven from the single
+// simulation goroutine and need not be safe for concurrent use.
+type Sink interface {
+	Emit(*Sample) error
+	Close() error
+}
+
+// Tracer pairs a sink with a sampling period; it is what a System drives.
+// A nil *Tracer means tracing is disabled.
+type Tracer struct {
+	sink  Sink
+	epoch uint64
+	err   error
+}
+
+// New returns a tracer sampling every epoch cycles (0 = DefaultEpoch).
+func New(sink Sink, epoch uint64) *Tracer {
+	if epoch == 0 {
+		epoch = DefaultEpoch
+	}
+	return &Tracer{sink: sink, epoch: epoch}
+}
+
+// Epoch returns the sampling period in cycles.
+func (t *Tracer) Epoch() uint64 { return t.epoch }
+
+// Emit forwards one sample to the sink. The first sink error sticks:
+// later samples are dropped and Err reports it, so the simulation loop
+// never has to branch on I/O failures.
+func (t *Tracer) Emit(s *Sample) {
+	if t.err == nil {
+		t.err = t.sink.Emit(s)
+	}
+}
+
+// Err returns the first sink error, if any.
+func (t *Tracer) Err() error { return t.err }
+
+// Close flushes and closes the sink, returning the first error seen over
+// the tracer's lifetime.
+func (t *Tracer) Close() error {
+	if err := t.sink.Close(); t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// JSONL writes a trace as JSON lines: the Meta header first, then one
+// object per sample. Output is buffered; Close flushes (and closes the
+// underlying writer when it is an io.Closer).
+type JSONL struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	c   io.Closer
+}
+
+// NewJSONL writes the meta header to w and returns the sink. The schema
+// field is forced to SchemaV1.
+func NewJSONL(w io.Writer, meta Meta) (*JSONL, error) {
+	meta.Schema = SchemaV1
+	if meta.Epoch == 0 {
+		meta.Epoch = DefaultEpoch
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(meta); err != nil {
+		return nil, fmt.Errorf("trace: writing meta: %w", err)
+	}
+	s := &JSONL{bw: bw, enc: enc}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s, nil
+}
+
+// Emit writes one sample line.
+func (s *JSONL) Emit(sm *Sample) error { return s.enc.Encode(sm) }
+
+// Close flushes the buffer and closes the underlying writer if possible.
+func (s *JSONL) Close() error {
+	err := s.bw.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// NewJSONLTracer is the one-call constructor the CLIs use: a JSONL sink
+// on w plus a tracer sampling every epoch cycles (0 = DefaultEpoch).
+func NewJSONLTracer(w io.Writer, meta Meta, epoch uint64) (*Tracer, error) {
+	if epoch == 0 {
+		epoch = DefaultEpoch
+	}
+	meta.Epoch = epoch
+	sink, err := NewJSONL(w, meta)
+	if err != nil {
+		return nil, err
+	}
+	return New(sink, epoch), nil
+}
+
+// Read parses a JSONL trace produced by a JSONL sink: the meta header
+// followed by every sample.
+func Read(r io.Reader) (Meta, []Sample, error) {
+	var meta Meta
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var samples []Sample
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if first {
+			first = false
+			if err := json.Unmarshal(line, &meta); err != nil {
+				return meta, nil, fmt.Errorf("trace: malformed meta line: %w", err)
+			}
+			if meta.Schema != SchemaV1 {
+				return meta, nil, fmt.Errorf("trace: unknown schema %q (want %q)", meta.Schema, SchemaV1)
+			}
+			continue
+		}
+		var s Sample
+		if err := json.Unmarshal(line, &s); err != nil {
+			return meta, samples, fmt.Errorf("trace: malformed sample at line %d: %w", len(samples)+2, err)
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return meta, samples, fmt.Errorf("trace: %w", err)
+	}
+	if first {
+		return meta, nil, fmt.Errorf("trace: empty input (no meta line)")
+	}
+	return meta, samples, nil
+}

@@ -1,0 +1,225 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/logging"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	meta := trace.Meta{Label: "QE/Proteus/nvm-fast", Fingerprint: "abc123", Epoch: 5000, Cores: 2}
+	samples := []trace.Sample{
+		{Cycle: 5000, Cores: []trace.CoreSample{{ROB: 12, LogQ: 3, Retired: 100}, {ROB: 7, FreeLogRegs: 8}},
+			Mem: trace.MemSample{WPQ: 4, LPQ: 9, Reads: 55, WritesData: 12}},
+		{Cycle: 10000, Cores: []trace.CoreSample{{ROB: 1, StallLogQ: 17}, {StoreBuf: 2, SfenceWait: 3}},
+			Mem: trace.MemSample{BusyBanks: 2, LPQDropped: 40}},
+		{Cycle: 12345, Final: true, Cores: []trace.CoreSample{{Retired: 500}, {Retired: 498}},
+			Mem: trace.MemSample{WritesLog: 7, LPQAccepted: 47, LPQDrained: 7}},
+	}
+	var buf bytes.Buffer
+	sink, err := trace.NewJSONL(&buf, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range samples {
+		if err := sink.Emit(&samples[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	gotMeta, got, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMeta := meta
+	wantMeta.Schema = trace.SchemaV1
+	if gotMeta != wantMeta {
+		t.Fatalf("meta round-trip: got %+v, want %+v", gotMeta, wantMeta)
+	}
+	if !reflect.DeepEqual(got, samples) {
+		t.Fatalf("samples round-trip:\ngot  %+v\nwant %+v", got, samples)
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	if _, _, err := trace.Read(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, _, err := trace.Read(strings.NewReader(`{"schema":"other/v9"}`)); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+	if _, _, err := trace.Read(strings.NewReader(`{"schema":"proteus-trace/v1","epoch":1}` + "\nnot-json\n")); err == nil {
+		t.Fatal("malformed sample line accepted")
+	}
+}
+
+// errSink fails on the nth Emit; used to verify the sticky-error contract.
+type errSink struct{ n, calls int }
+
+func (s *errSink) Emit(*trace.Sample) error {
+	s.calls++
+	if s.calls >= s.n {
+		return errors.New("sink full")
+	}
+	return nil
+}
+func (s *errSink) Close() error { return nil }
+
+func TestTracerStickyError(t *testing.T) {
+	sink := &errSink{n: 2}
+	tr := trace.New(sink, 0)
+	if tr.Epoch() != trace.DefaultEpoch {
+		t.Fatalf("epoch %d, want default %d", tr.Epoch(), trace.DefaultEpoch)
+	}
+	var s trace.Sample
+	tr.Emit(&s)
+	if tr.Err() != nil {
+		t.Fatal("error before the sink failed")
+	}
+	tr.Emit(&s)
+	if tr.Err() == nil {
+		t.Fatal("sink error not surfaced")
+	}
+	tr.Emit(&s)
+	if sink.calls != 2 {
+		t.Fatalf("sink called %d times after failure, want 2 (emits must stop)", sink.calls)
+	}
+	if err := tr.Close(); err == nil {
+		t.Fatal("Close dropped the sticky error")
+	}
+}
+
+// runTraced runs one small QE simulation with a tracer attached and
+// returns the trace contents plus the run's report.
+func runTraced(t *testing.T, scheme core.Scheme, epoch uint64) ([]byte, *stats.Report) {
+	t.Helper()
+	cfg := config.Default()
+	cfg.Cores = 2
+	p := workload.Params{Threads: 2, InitOps: 64, SimOps: 24, Seed: 1}
+	w, err := workload.Build(workload.Queue, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := logging.Generate(w, scheme, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(cfg, scheme, traces, w.InitImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tr, err := trace.NewJSONLTracer(&buf, trace.Meta{Label: "QE", Cores: cfg.Cores}, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetTracer(tr)
+	rep, err := sys.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), rep
+}
+
+// TestFinalSampleMatchesReport asserts the layer's totals contract: the
+// final sample's cumulative counters equal the end-of-run stats report,
+// so a trace never disagrees with the numbers the tables print.
+func TestFinalSampleMatchesReport(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.Proteus, core.ATOM, core.PMEM} {
+		data, rep := runTraced(t, scheme, 1000)
+		meta, samples, err := trace.Read(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if meta.Epoch != 1000 || meta.Cores != 2 {
+			t.Fatalf("%v: meta %+v", scheme, meta)
+		}
+		if len(samples) == 0 {
+			t.Fatalf("%v: no samples", scheme)
+		}
+		for _, s := range samples[:len(samples)-1] {
+			if s.Final {
+				t.Fatalf("%v: non-last sample marked final", scheme)
+			}
+		}
+		last := samples[len(samples)-1]
+		if !last.Final {
+			t.Fatalf("%v: last sample not marked final", scheme)
+		}
+		if last.Cycle != rep.Cycles {
+			t.Errorf("%v: final sample at cycle %d, report says %d", scheme, last.Cycle, rep.Cycles)
+		}
+		var retired, stalls uint64
+		for i, c := range last.Cores {
+			retired += c.Retired
+			stalls += c.StallROB + c.StallLoadQ + c.StallStoreQ + c.StallLogReg + c.StallLogQ
+			if c.Retired != rep.CoreStat[i].Retired {
+				t.Errorf("%v: core %d retired %d, report %d", scheme, i, c.Retired, rep.CoreStat[i].Retired)
+			}
+		}
+		if retired != rep.TotalRetired() {
+			t.Errorf("%v: final retired %d, report %d", scheme, retired, rep.TotalRetired())
+		}
+		if stalls != rep.TotalFrontEndStalls() {
+			t.Errorf("%v: final stalls %d, report %d", scheme, stalls, rep.TotalFrontEndStalls())
+		}
+		m, rm := last.Mem, rep.MemStat
+		if m.Reads != rm.Reads || m.WritesData != rm.Writes[stats.WriteData] ||
+			m.WritesLog != rm.Writes[stats.WriteLog] || m.WritesTruncate != rm.Writes[stats.WriteTruncate] {
+			t.Errorf("%v: final mem sample %+v disagrees with report %+v", scheme, m, rm)
+		}
+		if m.LPQAccepted != rm.LPQAccepted || m.LPQDropped != rm.LPQDropped || m.LPQDrained != rm.LPQDrained {
+			t.Errorf("%v: final LPQ counters %+v disagree with report", scheme, m)
+		}
+		// Epochal samples must be strictly ordered and cumulative.
+		for i := 1; i < len(samples); i++ {
+			if samples[i].Cycle <= samples[i-1].Cycle {
+				t.Fatalf("%v: sample cycles not increasing at %d", scheme, i)
+			}
+			for c := range samples[i].Cores {
+				if samples[i].Cores[c].Retired < samples[i-1].Cores[c].Retired {
+					t.Fatalf("%v: retired counter went backwards at sample %d", scheme, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSinkFailureSurfacesFromRun asserts a failing sink turns into a run
+// error instead of being silently dropped.
+func TestSinkFailureSurfacesFromRun(t *testing.T) {
+	cfg := config.Default()
+	cfg.Cores = 1
+	p := workload.Params{Threads: 1, InitOps: 32, SimOps: 16, Seed: 1}
+	w, err := workload.Build(workload.Queue, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := logging.Generate(w, core.Proteus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(cfg, core.Proteus, traces, w.InitImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetTracer(trace.New(&errSink{n: 1}, 100))
+	if _, err := sys.Run(0); err == nil {
+		t.Fatal("run succeeded despite a failing trace sink")
+	}
+}
