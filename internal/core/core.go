@@ -309,6 +309,23 @@ func (s *System) CrashImage() *nvm.Store {
 	return s.mc.CrashImage(s.scheme.ADR())
 }
 
+// ADR reports whether the scheme's platform keeps the MC queues in the
+// persistency domain (what CrashImage assumes).
+func (s *System) ADR() bool { return s.scheme.ADR() }
+
+// CrashImageWith extracts the crash state under an explicit fault model,
+// overriding the scheme's nominal persistency domain. The fault-injection
+// campaign uses it to model ADR loss and torn line writes.
+func (s *System) CrashImageWith(f memctrl.CrashFault) *nvm.Store {
+	return s.mc.CrashImageWith(f)
+}
+
+// PendingLines lists the line addresses a crash now would offer to a
+// CrashFault.Torn hook, in hook-index order.
+func (s *System) PendingLines(adr bool) []uint64 {
+	return s.mc.PendingLines(adr)
+}
+
 // QueueLens returns the current WPQ and LPQ occupancy (monitoring).
 func (s *System) QueueLens() (wpq, lpq int) {
 	return s.mc.WPQLen(), s.mc.LPQLen()

@@ -21,7 +21,10 @@ func (c *Core) atomMaybeLog(now uint64, t *txState, line uint64, tx uint32) {
 	if c.atomCursor+logfmt.PairEntrySize > c.logEnd {
 		c.atomCursor = c.logStart
 	}
-	req.meta = logfmt.EncodePairMeta(logfmt.PairEntry{From: line, Tx: uint64(tx), Len: isa.LineSize})
+	req.meta = logfmt.EncodePairMeta(logfmt.PairEntry{
+		From: line, Tx: uint64(tx), Len: isa.LineSize,
+		DataCRC: logfmt.PairDataCRC(req.data[:]),
+	})
 	t.atomLogged[line] = len(t.atomReqs)
 	t.atomReqs = append(t.atomReqs, req)
 	t.atomEntries = append(t.atomEntries, req.metaAddr)

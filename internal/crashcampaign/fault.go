@@ -1,0 +1,250 @@
+// Package crashcampaign runs fault-injection campaigns over the
+// simulator: it sweeps crash points across (benchmark, scheme) tuples,
+// extracts crash images under several power-failure fault models, runs
+// recovery, checks the oracle's durable-transaction property, and
+// classifies every injection against an expectation matrix. Expected-safe
+// combinations that fail are automatically minimized (the crash point is
+// bisected to the earliest failing cycle and the fault mask shrunk) and
+// dumped as ready-to-replay reproducer artifacts.
+//
+// Everything the campaign computes is deterministic in (config, seed):
+// crash points, per-injection randomness, result order, and the report
+// bytes are identical no matter how many engine workers execute the
+// sweep.
+package crashcampaign
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/memctrl"
+	"repro/internal/nvm"
+)
+
+// Fault is a power-failure fault model.
+type Fault int
+
+const (
+	// FaultClean is a nominal power cut: the scheme's persistency domain
+	// (ADR queues included where the platform has them) drains intact.
+	FaultClean Fault = iota
+	// FaultTorn tears pending line writes: only a prefix of the 8-byte
+	// words of each affected 64-byte line reaches NVM. Under ADR this
+	// breaks the platform's drain guarantee; without ADR it models device
+	// writes interrupted mid-line.
+	FaultTorn
+	// FaultADRLoss drops the WPQ/LPQ contents a scheme's ADR domain was
+	// supposed to drain (a failed backup capacitor).
+	FaultADRLoss
+	// FaultCorrupt flips one bit in every affected materialized log-area
+	// line of the clean crash image. Recovery must either still produce a
+	// verified state or report the corruption — never silently apply it.
+	FaultCorrupt
+)
+
+var faultNames = map[Fault]string{
+	FaultClean:   "clean",
+	FaultTorn:    "torn",
+	FaultADRLoss: "adrloss",
+	FaultCorrupt: "corrupt",
+}
+
+func (f Fault) String() string {
+	if n, ok := faultNames[f]; ok {
+		return n
+	}
+	return fmt.Sprintf("Fault(%d)", int(f))
+}
+
+// AllFaults lists every model in campaign order.
+var AllFaults = []Fault{FaultClean, FaultTorn, FaultADRLoss, FaultCorrupt}
+
+// ParseFaults parses a comma-separated fault list ("torn,adrloss", or
+// "all"). FaultClean is always included first: the clean sweep is the
+// baseline every campaign needs.
+func ParseFaults(s string) ([]Fault, error) {
+	out := []Fault{FaultClean}
+	seen := map[Fault]bool{FaultClean: true}
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if name == "all" {
+			for _, f := range AllFaults {
+				if !seen[f] {
+					seen[f] = true
+					out = append(out, f)
+				}
+			}
+			continue
+		}
+		found := false
+		for f, n := range faultNames {
+			if n == name {
+				if !seen[f] {
+					seen[f] = true
+					out = append(out, f)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("crashcampaign: unknown fault %q (have clean, torn, adrloss, corrupt, all)", name)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// expectSafe reports whether the (scheme, fault) combination is expected
+// to satisfy the durable-transaction property. Torn and ADR-loss faults
+// break the ADR guarantee, so only the scheme that never relied on it
+// (PMEM+pcommit) is expected to survive them. FaultCorrupt is never
+// "safe" in this sense: its contract is verified-or-detected, which the
+// classifier handles separately.
+func expectSafe(s core.Scheme, f Fault) bool {
+	if !s.FailureSafe() {
+		return false
+	}
+	switch f {
+	case FaultClean:
+		return true
+	case FaultTorn, FaultADRLoss:
+		return !s.ADR()
+	}
+	return false
+}
+
+// appliesTo reports whether injecting the fault into the scheme is
+// meaningful. ADR loss is a no-op for a scheme whose persistency domain
+// never included the queues.
+func (f Fault) appliesTo(s core.Scheme) bool {
+	if f == FaultADRLoss {
+		return s.ADR()
+	}
+	return true
+}
+
+// mix hashes words into a well-distributed 64-bit value (splitmix64
+// finalization). Per-line fault decisions hash (seed, line identity)
+// statelessly, so shrinking a fault mask never shifts the randomness of
+// the lines that remain.
+func mix(vals ...uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, v := range vals {
+		h ^= v + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)
+		h ^= h >> 30
+		h *= 0xBF58476D1CE4E5B9
+	}
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+// seedFor derives the per-injection fault seed from the campaign seed and
+// the injection's identity.
+func seedFor(campaignSeed int64, parts ...string) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", campaignSeed)
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	return h.Sum64()
+}
+
+// injection is one planned fault injection at one crash point.
+type injection struct {
+	fault Fault
+	cycle uint64
+	seed  uint64
+	// mask, when non-nil, restricts the fault to the listed target
+	// indexes (pending-line index for torn, sorted-log-line index for
+	// corrupt). nil faults every target. The minimizer shrinks it.
+	mask []int
+}
+
+func maskSet(mask []int) map[int]bool {
+	if mask == nil {
+		return nil
+	}
+	m := make(map[int]bool, len(mask))
+	for _, i := range mask {
+		m[i] = true
+	}
+	return m
+}
+
+// tornWords returns how many leading 8-byte words of pending line idx
+// persist under the injection's seed: always a strict prefix (0..7), so
+// every selected line genuinely tears.
+func tornWords(seed uint64, idx int) int {
+	return int(mix(seed, 0x7047, uint64(idx)) % 8)
+}
+
+// logLines returns the materialized log-area lines of the image across
+// all threads, in ascending address order — the corrupt fault's target
+// list.
+func logLines(img *nvm.Store, threads int) []uint64 {
+	var out []uint64
+	for t := 0; t < threads; t++ {
+		base, limit := isa.LogWindow(t)
+		out = append(out, img.LinesIn(base, limit)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// buildImage extracts the crash image the injection leaves behind.
+func buildImage(sys *core.System, threads int, inj injection) *nvm.Store {
+	switch inj.fault {
+	case FaultClean:
+		return sys.CrashImage()
+	case FaultADRLoss:
+		return sys.CrashImageWith(memctrl.CrashFault{ADR: false})
+	case FaultTorn:
+		sel := maskSet(inj.mask)
+		return sys.CrashImageWith(memctrl.CrashFault{
+			ADR: sys.ADR(),
+			Torn: func(idx int, addr uint64) int {
+				if sel != nil && !sel[idx] {
+					return 8 // not selected: the whole line persists
+				}
+				return tornWords(inj.seed, idx)
+			},
+		})
+	case FaultCorrupt:
+		img := sys.CrashImage()
+		sel := maskSet(inj.mask)
+		for i, addr := range logLines(img, threads) {
+			if sel != nil && !sel[i] {
+				continue
+			}
+			bit := mix(inj.seed, 0xC0FF, addr) % (isa.LineSize * 8)
+			line := img.Read(addr, isa.LineSize)
+			line[bit/8] ^= 1 << (bit % 8)
+			img.Write(addr, line)
+		}
+		return img
+	}
+	return sys.CrashImage()
+}
+
+// maskTargets returns how many targets the injection's fault has at this
+// system state — the universe the minimizer's mask shrink works over.
+func maskTargets(sys *core.System, threads int, f Fault) int {
+	switch f {
+	case FaultTorn:
+		return len(sys.PendingLines(sys.ADR()))
+	case FaultCorrupt:
+		return len(logLines(sys.CrashImage(), threads))
+	}
+	return 0
+}

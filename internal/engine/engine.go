@@ -394,6 +394,38 @@ func (e *Engine) simulate1(ctx context.Context, j Job) (*Result, error) {
 	return &Result{Report: rep, EmittedLogFlushes: emitted}, nil
 }
 
+// Do runs fn on a worker slot, applying the engine's per-job timeout. It
+// lets non-Job work — the crash campaign's sweep chunks, which each carry
+// their own simulation loop — share the same bounded pool instead of
+// stacking a second layer of parallelism on top of it. A Config.JobTimeout
+// expiry is reported as ErrJobTimeout, mirroring Run.
+func (e *Engine) Do(parent context.Context, fn func(context.Context) error) error {
+	select {
+	case e.sem <- struct{}{}:
+	case <-parent.Done():
+		return parent.Err()
+	}
+	defer func() { <-e.sem }()
+	ctx := parent
+	if e.conf.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.conf.JobTimeout)
+		defer cancel()
+	}
+	err := fn(ctx)
+	if err != nil && errors.Is(err, context.DeadlineExceeded) && parent.Err() == nil {
+		return fmt.Errorf("engine: %w after %v", ErrJobTimeout, e.conf.JobTimeout)
+	}
+	return err
+}
+
+// Workload returns the memoized workload build for (kind, params),
+// building it on first use. Campaign code uses it to share builds with
+// the experiment jobs running through the same engine.
+func (e *Engine) Workload(ctx context.Context, kind workload.Kind, params workload.Params) (*workload.Workload, error) {
+	return e.workloadFor(ctx, kind, params)
+}
+
 // workloadFor builds the workload for (kind, params) exactly once;
 // concurrent callers wait for the builder. Workloads are immutable after
 // Build, so the jobs sharing one read it concurrently without copies.

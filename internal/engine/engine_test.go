@@ -205,3 +205,66 @@ func TestProgressEvents(t *testing.T) {
 		t.Fatalf("event counts = %v, want 1 start / 1 done / 1 cached", counts)
 	}
 }
+
+// TestDoSharesWorkerPool: Do occupies a worker slot — with one worker, two
+// Do calls serialize — and applies the per-job timeout as ErrJobTimeout.
+func TestDoSharesWorkerPool(t *testing.T) {
+	e := New(Config{Workers: 1, JobTimeout: 50 * time.Millisecond})
+	ctx := context.Background()
+
+	var active, maxActive int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = e.Do(ctx, func(context.Context) error {
+				mu.Lock()
+				active++
+				if active > maxActive {
+					maxActive = active
+				}
+				mu.Unlock()
+				time.Sleep(5 * time.Millisecond)
+				mu.Lock()
+				active--
+				mu.Unlock()
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if maxActive != 1 {
+		t.Fatalf("pool of 1 ran %d Do bodies concurrently", maxActive)
+	}
+
+	err := e.Do(ctx, func(c context.Context) error {
+		<-c.Done()
+		return c.Err()
+	})
+	if !errors.Is(err, ErrJobTimeout) {
+		t.Fatalf("timeout surfaced as %v, want ErrJobTimeout", err)
+	}
+}
+
+// TestExportedWorkloadSharesBuilds: Engine.Workload memoizes with the
+// builds done by Run.
+func TestExportedWorkloadSharesBuilds(t *testing.T) {
+	e := New(Config{Workers: 2})
+	ctx := context.Background()
+	j := testJob(core.PMEMNoLog)
+	if _, err := e.Run(ctx, j); err != nil {
+		t.Fatal(err)
+	}
+	w, err := e.Workload(ctx, j.Kind, j.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == nil || len(w.Heaps) == 0 {
+		t.Fatal("empty workload")
+	}
+	if got := e.Counters().WorkloadsBuilt; got != 1 {
+		t.Fatalf("workload built %d times, want 1 (shared)", got)
+	}
+}

@@ -14,13 +14,48 @@
 //   - Software (PMEM) entries: the same two-line layout as ATOM, written
 //     by plain stores; validity is governed by the per-thread logFlag
 //     protocol of Figure 2 rather than per-entry valid words.
+//
+// Every entry carries CRC32 integrity words so recovery can distinguish a
+// whole, untampered entry from a torn line (only a prefix of its 8-byte
+// words persisted) or log-area bit corruption. The paper's formats leave
+// these bytes unused; packing the checksums into existing metadata words
+// keeps the entry sizes — and for software logging the store count —
+// unchanged, so the timing results are unaffected.
 package logfmt
 
 import (
 	"encoding/binary"
+	"hash/crc32"
 
 	"repro/internal/isa"
 )
+
+// LineState classifies a 64-byte line of log area.
+type LineState int
+
+const (
+	// LineEmpty is a line holding no entry (never written or invalidated;
+	// reads as all-zero bytes at the validity markers).
+	LineEmpty LineState = iota
+	// LineValid is a whole entry whose integrity checks pass.
+	LineValid
+	// LineCorrupt is a line that claims to hold an entry but fails its
+	// integrity check — a torn write or bit corruption. Recovery must
+	// report it, never apply it.
+	LineCorrupt
+)
+
+func (s LineState) String() string {
+	switch s {
+	case LineEmpty:
+		return "empty"
+	case LineValid:
+		return "valid"
+	case LineCorrupt:
+		return "corrupt"
+	}
+	return "LineState(?)"
+}
 
 // Proteus entry layout within one 64-byte line.
 const (
@@ -30,6 +65,7 @@ const (
 	proteusTxOff     = 40 // 4-byte transaction ID
 	proteusFlagOff   = 44 // 1-byte flags
 	proteusSeqOff    = 48 // 8-byte program-order sequence number
+	proteusCRCOff    = 56 // 4-byte CRC32 over bytes [0, 56)
 	// The sequence number materializes the §4.2 invariant that log-to
 	// addresses are assigned in program order: recovery uses it to apply
 	// entries newest-first so the earliest entry per address wins.
@@ -50,6 +86,10 @@ type ProteusEntry struct {
 	Last bool
 }
 
+func proteusCRC(line *[isa.LineSize]byte) uint32 {
+	return crc32.ChecksumIEEE(line[:proteusCRCOff])
+}
+
 // EncodeProteus writes the entry into a 64-byte line image.
 func EncodeProteus(e ProteusEntry) [isa.LineSize]byte {
 	var line [isa.LineSize]byte
@@ -62,68 +102,135 @@ func EncodeProteus(e ProteusEntry) [isa.LineSize]byte {
 		flags |= ProteusFlagLast
 	}
 	line[proteusFlagOff] = flags
+	binary.LittleEndian.PutUint32(line[proteusCRCOff:], proteusCRC(&line))
 	return line
 }
 
-// DecodeProteus parses a 64-byte line; ok is false when the line holds no
-// valid entry.
-func DecodeProteus(line []byte) (ProteusEntry, bool) {
+// DecodeProteusChecked parses a 64-byte line into an entry and its
+// integrity state. A line without the valid flag that is not all-zero is
+// reported corrupt: entries are only ever written whole, and invalidation
+// writes zeros, so a nonzero invalid line is a torn write or bit damage.
+func DecodeProteusChecked(line []byte) (ProteusEntry, LineState) {
 	var e ProteusEntry
-	if len(line) < isa.LineSize || line[proteusFlagOff]&ProteusFlagValid == 0 {
-		return e, false
+	if len(line) < isa.LineSize {
+		return e, LineEmpty
+	}
+	if line[proteusFlagOff]&ProteusFlagValid == 0 {
+		for _, b := range line[:isa.LineSize] {
+			if b != 0 {
+				return e, LineCorrupt
+			}
+		}
+		return e, LineEmpty
+	}
+	var buf [isa.LineSize]byte
+	copy(buf[:], line)
+	if binary.LittleEndian.Uint32(line[proteusCRCOff:]) != proteusCRC(&buf) {
+		return e, LineCorrupt
+	}
+	// The reserved tail after the CRC is never written; nonzero bytes
+	// there are corruption the checksum cannot see.
+	for _, b := range line[proteusCRCOff+4 : isa.LineSize] {
+		if b != 0 {
+			return e, LineCorrupt
+		}
 	}
 	copy(e.Data[:], line[proteusDataOff:proteusDataOff+isa.LogBlockSize])
 	e.From = binary.LittleEndian.Uint64(line[proteusFromOff:])
 	e.Tx = binary.LittleEndian.Uint32(line[proteusTxOff:])
 	e.Seq = binary.LittleEndian.Uint64(line[proteusSeqOff:])
 	e.Last = line[proteusFlagOff]&ProteusFlagLast != 0
-	return e, true
+	return e, LineValid
 }
 
-// SetProteusLast sets the commit mark on an encoded entry in place.
+// DecodeProteus parses a 64-byte line; ok is false when the line holds no
+// whole valid entry.
+func DecodeProteus(line []byte) (ProteusEntry, bool) {
+	e, st := DecodeProteusChecked(line)
+	return e, st == LineValid
+}
+
+// SetProteusLast sets the commit mark on an encoded entry in place and
+// refreshes the integrity word.
 func SetProteusLast(line *[isa.LineSize]byte) {
 	line[proteusFlagOff] |= ProteusFlagLast
+	binary.LittleEndian.PutUint32(line[proteusCRCOff:], proteusCRC(line))
 }
 
 // Two-line (meta + data) entry layout used by ATOM and software logging.
+// The valid word packs the magic (low half) with a CRC32 of the remaining
+// metadata words (high half); the length word packs the logged length (low
+// half) with a CRC32 of the logged data (high half). Both checksums ride
+// in words the formats already write, so software logging still stores
+// exactly four meta words per entry.
 const (
 	PairEntrySize = 2 * isa.LineSize
-	pairValidOff  = 0  // 8-byte valid word (nonzero = valid)
+	pairValidOff  = 0  // magic (low 32 bits) | meta CRC32 (high 32 bits)
 	pairFromOff   = 8  // 8-byte log-from address
 	pairTxOff     = 16 // 8-byte transaction ID
-	pairLenOff    = 24 // 8-byte logged length (<= 64)
+	pairLenOff    = 24 // logged length (low 32 bits) | data CRC32 (high)
+	pairMetaEnd   = 32 // metadata bytes covered by the meta CRC: [8, 32)
 	// PairValidMagic distinguishes a written entry from zeroed area.
 	PairValidMagic = 0xA70A70A7
 )
 
 // PairEntry is a decoded two-line log entry.
 type PairEntry struct {
-	From uint64
-	Tx   uint64
-	Len  uint64
-	Data [isa.LineSize]byte
+	From    uint64
+	Tx      uint64
+	Len     uint64
+	DataCRC uint32
+	Data    [isa.LineSize]byte
 }
 
-// EncodePairMeta builds the metadata line.
+// PairDataCRC computes the data-line checksum stored in the meta line.
+func PairDataCRC(data []byte) uint32 { return crc32.ChecksumIEEE(data) }
+
+// EncodePairMeta builds the metadata line. The caller provides DataCRC
+// over the Len bytes the data line will hold (PairDataCRC).
 func EncodePairMeta(e PairEntry) [isa.LineSize]byte {
 	var line [isa.LineSize]byte
-	binary.LittleEndian.PutUint64(line[pairValidOff:], PairValidMagic)
 	binary.LittleEndian.PutUint64(line[pairFromOff:], e.From)
 	binary.LittleEndian.PutUint64(line[pairTxOff:], e.Tx)
-	binary.LittleEndian.PutUint64(line[pairLenOff:], e.Len)
+	binary.LittleEndian.PutUint64(line[pairLenOff:], e.Len&0xFFFF_FFFF|uint64(e.DataCRC)<<32)
+	meta := crc32.ChecksumIEEE(line[pairFromOff:pairMetaEnd])
+	binary.LittleEndian.PutUint64(line[pairValidOff:], PairValidMagic|uint64(meta)<<32)
 	return line
 }
 
-// DecodePairMeta parses a metadata line; ok is false when invalid.
-func DecodePairMeta(line []byte) (PairEntry, bool) {
+// DecodePairMetaChecked parses a metadata line into an entry and its
+// integrity state. As with Proteus lines, a nonzero line without the magic
+// is corrupt, not empty.
+func DecodePairMetaChecked(line []byte) (PairEntry, LineState) {
 	var e PairEntry
-	if len(line) < isa.LineSize || binary.LittleEndian.Uint64(line[pairValidOff:]) != PairValidMagic {
-		return e, false
+	if len(line) < isa.LineSize {
+		return e, LineEmpty
+	}
+	valid := binary.LittleEndian.Uint64(line[pairValidOff:])
+	if uint32(valid) != PairValidMagic {
+		for _, b := range line[:isa.LineSize] {
+			if b != 0 {
+				return e, LineCorrupt
+			}
+		}
+		return e, LineEmpty
+	}
+	if uint32(valid>>32) != crc32.ChecksumIEEE(line[pairFromOff:pairMetaEnd]) {
+		return e, LineCorrupt
 	}
 	e.From = binary.LittleEndian.Uint64(line[pairFromOff:])
 	e.Tx = binary.LittleEndian.Uint64(line[pairTxOff:])
-	e.Len = binary.LittleEndian.Uint64(line[pairLenOff:])
-	return e, true
+	lw := binary.LittleEndian.Uint64(line[pairLenOff:])
+	e.Len = lw & 0xFFFF_FFFF
+	e.DataCRC = uint32(lw >> 32)
+	return e, LineValid
+}
+
+// DecodePairMeta parses a metadata line; ok is false when the line holds
+// no whole valid entry.
+func DecodePairMeta(line []byte) (PairEntry, bool) {
+	e, st := DecodePairMetaChecked(line)
+	return e, st == LineValid
 }
 
 // LogFlagAddr returns the address of a thread's persistent logFlag word

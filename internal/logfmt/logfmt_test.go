@@ -24,8 +24,43 @@ func TestProteusInvalidLine(t *testing.T) {
 	if _, ok := DecodeProteus(zero[:]); ok {
 		t.Fatal("zero line decoded as valid entry")
 	}
+	if _, st := DecodeProteusChecked(zero[:]); st != LineEmpty {
+		t.Fatalf("zero line state = %v, want empty", st)
+	}
 	if _, ok := DecodeProteus(nil); ok {
 		t.Fatal("nil decoded as valid entry")
+	}
+}
+
+// TestProteusIntegrity: any torn prefix or single flipped bit of a whole
+// entry must decode as corrupt — never as a different valid entry, and
+// never as empty unless the result is all-zero.
+func TestProteusIntegrity(t *testing.T) {
+	var data [isa.LogBlockSize]byte
+	for i := range data {
+		data[i] = byte(i + 1)
+	}
+	line := EncodeProteus(ProteusEntry{Data: data, From: 0x1_0000_0040, Tx: 7, Seq: 9})
+	for words := 0; words < 8; words++ {
+		torn := [isa.LineSize]byte{}
+		copy(torn[:], line[:words*8])
+		_, st := DecodeProteusChecked(torn[:])
+		if words == 0 {
+			if st != LineEmpty {
+				t.Fatalf("empty tear state = %v", st)
+			}
+			continue
+		}
+		if st != LineCorrupt {
+			t.Fatalf("torn at %d words: state = %v, want corrupt", words, st)
+		}
+	}
+	for bit := 0; bit < isa.LineSize*8; bit++ {
+		flipped := line
+		flipped[bit/8] ^= 1 << (bit % 8)
+		if _, st := DecodeProteusChecked(flipped[:]); st == LineValid {
+			t.Fatalf("bit flip at %d still decodes as valid", bit)
+		}
 	}
 }
 
@@ -39,11 +74,11 @@ func TestSetProteusLast(t *testing.T) {
 }
 
 func TestPairRoundtrip(t *testing.T) {
-	prop := func(from, tx uint64, ln uint8) bool {
-		e := PairEntry{From: from, Tx: tx, Len: uint64(ln)}
+	prop := func(from, tx uint64, ln uint8, crc uint32) bool {
+		e := PairEntry{From: from, Tx: tx, Len: uint64(ln), DataCRC: crc}
 		line := EncodePairMeta(e)
 		d, ok := DecodePairMeta(line[:])
-		return ok && d.From == from && d.Tx == tx && d.Len == uint64(ln)
+		return ok && d.From == from && d.Tx == tx && d.Len == uint64(ln) && d.DataCRC == crc
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Fatal(err)
@@ -54,6 +89,38 @@ func TestPairInvalid(t *testing.T) {
 	var zero [isa.LineSize]byte
 	if _, ok := DecodePairMeta(zero[:]); ok {
 		t.Fatal("zero meta decoded as valid")
+	}
+	if _, st := DecodePairMetaChecked(zero[:]); st != LineEmpty {
+		t.Fatalf("zero meta state = %v, want empty", st)
+	}
+}
+
+// TestPairIntegrity mirrors TestProteusIntegrity for the two-line format.
+func TestPairIntegrity(t *testing.T) {
+	var data [isa.LineSize]byte
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	line := EncodePairMeta(PairEntry{From: 0x1_0000_0080, Tx: 5, Len: isa.LineSize, DataCRC: PairDataCRC(data[:])})
+	for words := 1; words < 4; words++ {
+		torn := [isa.LineSize]byte{}
+		copy(torn[:], line[:words*8])
+		if _, st := DecodePairMetaChecked(torn[:]); st != LineCorrupt {
+			t.Fatalf("torn meta at %d words: state = %v, want corrupt", words, st)
+		}
+	}
+	for bit := 0; bit < pairMetaEnd*8; bit++ {
+		flipped := line
+		flipped[bit/8] ^= 1 << (bit % 8)
+		if _, st := DecodePairMetaChecked(flipped[:]); st == LineValid {
+			t.Fatalf("meta bit flip at %d still decodes as valid", bit)
+		}
+	}
+	// Data corruption is caught through the DataCRC carried in the meta.
+	flipped := data
+	flipped[13] ^= 0x10
+	if PairDataCRC(flipped[:]) == PairDataCRC(data[:]) {
+		t.Fatal("data CRC did not change under a bit flip")
 	}
 }
 

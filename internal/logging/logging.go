@@ -169,7 +169,19 @@ func (g *gen) emitSWLogging(t *heap.Txn) {
 	// the metadata and data words, flush both lines.
 	lines := hintLines(t)
 	for i, line := range lines {
-		meta := logfmt.EncodePairMeta(logfmt.PairEntry{From: line, Tx: uint64(tx), Len: isa.LineSize})
+		// The pre-image words double as the entry's data checksum input,
+		// so compute them before emitting any ops (the op sequence —
+		// 8 loads, 4 meta stores, 8 data stores — is unchanged).
+		var pre [8]uint64
+		var preBytes [isa.LineSize]byte
+		for w := 0; w < 8; w++ {
+			pre[w] = preWordIn(t, g, line+uint64(w*8))
+			putWord(preBytes[w*8:], pre[w])
+		}
+		meta := logfmt.EncodePairMeta(logfmt.PairEntry{
+			From: line, Tx: uint64(tx), Len: isa.LineSize,
+			DataCRC: logfmt.PairDataCRC(preBytes[:]),
+		})
 		metaAddr := g.swLog + uint64(i)*logfmt.PairEntrySize
 		dataAddr := metaAddr + isa.LineSize
 		// Read the original line (8 words) and write it to the log.
@@ -180,7 +192,7 @@ func (g *gen) emitSWLogging(t *heap.Txn) {
 			g.storeRaw(tx, metaAddr+uint64(w*8), wordOf(meta[:], w))
 		}
 		for w := 0; w < 8; w++ {
-			g.storeRaw(tx, dataAddr+uint64(w*8), preWordIn(t, g, line+uint64(w*8)))
+			g.storeRaw(tx, dataAddr+uint64(w*8), pre[w])
 		}
 		g.clwb(metaAddr)
 		g.clwb(dataAddr)
@@ -296,4 +308,11 @@ func wordOf(b []byte, w int) uint64 {
 		v = v<<8 | uint64(b[w*8+i])
 	}
 	return v
+}
+
+// putWord stores a little-endian word into a byte slice.
+func putWord(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
 }

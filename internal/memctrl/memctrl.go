@@ -551,14 +551,85 @@ func (c *Controller) AtomTxEnd(now uint64, core int, tx uint32, logEntries []uin
 // the image; without ADR (the PMEM+pcommit configuration) only data
 // already written to NVM survives.
 func (c *Controller) CrashImage(adr bool) *nvm.Store {
+	return c.CrashImageWith(CrashFault{ADR: adr})
+}
+
+// CrashFault describes how a power failure mangles the pending queues on
+// its way to the crash image. The zero value (no ADR, no tearing) is the
+// harshest clean model: both queues are lost.
+type CrashFault struct {
+	// ADR marks the WPQ/LPQ as inside the persistency domain: their
+	// contents drain into the image. Passing false for a scheme that
+	// normally relies on ADR models ADR loss (a failed backup capacitor).
+	ADR bool
+	// Torn, when non-nil, is consulted once per line the failure would
+	// persist — in acceptance order, WPQ before LPQ; idx counts calls —
+	// and returns how many leading 8-byte words of the 64-byte line
+	// actually reach NVM. Values >= 8 keep the whole line, <= 0 drop it;
+	// anything between leaves the line's tail at its pre-crash NVM
+	// contents (a torn line write).
+	//
+	// Without ADR the queues are volatile and nominally persist nothing,
+	// but a write the device had already begun at the failure may still
+	// land a torn prefix: with Torn set, issued WPQ entries are offered to
+	// the hook instead of being dropped.
+	Torn func(idx int, addr uint64) int
+}
+
+// CrashImageWith is CrashImage under an explicit fault model.
+func (c *Controller) CrashImageWith(f CrashFault) *nvm.Store {
 	img := c.store.Snapshot()
-	if adr {
-		for _, e := range c.wpq {
-			img.Write(e.addr, e.data[:])
+	idx := 0
+	apply := func(addr uint64, data *[isa.LineSize]byte) {
+		words := 8
+		if f.Torn != nil {
+			words = f.Torn(idx, addr)
 		}
-		for _, e := range c.lpq {
-			img.Write(e.LogTo, e.Data[:])
+		idx++
+		if words <= 0 {
+			return
+		}
+		if words > 8 {
+			words = 8
+		}
+		img.Write(addr, data[:words*8])
+	}
+	switch {
+	case f.ADR:
+		for i := range c.wpq {
+			apply(c.wpq[i].addr, &c.wpq[i].data)
+		}
+		for i := range c.lpq {
+			apply(c.lpq[i].LogTo, &c.lpq[i].Data)
+		}
+	case f.Torn != nil:
+		for i := range c.wpq {
+			if c.wpq[i].issued {
+				apply(c.wpq[i].addr, &c.wpq[i].data)
+			}
 		}
 	}
 	return img
+}
+
+// PendingLines returns the line addresses a power failure at this moment
+// would offer to a CrashFault.Torn hook, in hook-index order. A campaign
+// uses it to aim a tear at a specific queued line.
+func (c *Controller) PendingLines(adr bool) []uint64 {
+	var out []uint64
+	if adr {
+		for i := range c.wpq {
+			out = append(out, c.wpq[i].addr)
+		}
+		for i := range c.lpq {
+			out = append(out, c.lpq[i].LogTo)
+		}
+		return out
+	}
+	for i := range c.wpq {
+		if c.wpq[i].issued {
+			out = append(out, c.wpq[i].addr)
+		}
+	}
+	return out
 }

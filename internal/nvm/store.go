@@ -7,7 +7,9 @@
 package nvm
 
 import (
+	"encoding/binary"
 	"fmt"
+	"io"
 	"sort"
 
 	"repro/internal/isa"
@@ -139,4 +141,68 @@ func (s *Store) EqualRange(o *Store, addr uint64, size int) (bool, uint64) {
 
 func (s *Store) String() string {
 	return fmt.Sprintf("nvm.Store{%d blocks}", len(s.blocks))
+}
+
+// storeMagic heads a serialized store: "NVMIMG" + a format version.
+var storeMagic = [8]byte{'N', 'V', 'M', 'I', 'M', 'G', 0, 1}
+
+// Serialize writes the store to w in a deterministic flat format: the
+// magic, a block count, then each materialized line in ascending address
+// order as an 8-byte little-endian address followed by its 64 data bytes.
+// Crash-campaign reproducer artifacts are written this way.
+func (s *Store) Serialize(w io.Writer) error {
+	if _, err := w.Write(storeMagic[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(s.blocks)))
+	if _, err := w.Write(buf[:]); err != nil {
+		return err
+	}
+	lines := make([]uint64, 0, len(s.blocks))
+	for a := range s.blocks {
+		lines = append(lines, a)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, a := range lines {
+		binary.LittleEndian.PutUint64(buf[:], a)
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(s.blocks[a][:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSerialized parses a store written by Serialize.
+func ReadSerialized(r io.Reader) (*Store, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("nvm: reading image magic: %w", err)
+	}
+	if hdr != storeMagic {
+		return nil, fmt.Errorf("nvm: bad image magic %q", hdr[:])
+	}
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("nvm: reading image block count: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(hdr[:])
+	s := NewStore()
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, fmt.Errorf("nvm: reading block %d address: %w", i, err)
+		}
+		addr := binary.LittleEndian.Uint64(hdr[:])
+		if addr != isa.LineAddr(addr) {
+			return nil, fmt.Errorf("nvm: block %d address %#x not line aligned", i, addr)
+		}
+		b := new([isa.LineSize]byte)
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return nil, fmt.Errorf("nvm: reading block %d data: %w", i, err)
+		}
+		s.blocks[addr] = b
+	}
+	return s, nil
 }

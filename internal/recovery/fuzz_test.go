@@ -3,7 +3,6 @@ package recovery
 import (
 	"math/rand"
 	"testing"
-	"testing/quick"
 
 	"repro/internal/core"
 	"repro/internal/isa"
@@ -11,61 +10,96 @@ import (
 	"repro/internal/nvm"
 )
 
-// TestRecoveryRobustToGarbageImages: recovery over images containing
-// random bytes in the log areas must terminate without panicking for
-// every scheme — a recovery routine that crashes on a corrupt log is
-// itself a failure-safety bug.
-func TestRecoveryRobustToGarbageImages(t *testing.T) {
-	prop := func(seed int64, blocks uint8) bool {
+// FuzzRecoverGarbageLog: recovery over images containing random bytes in
+// the log areas must terminate for every scheme, and any error it returns
+// must be a typed corruption detection — a recovery routine that panics
+// on a corrupt log, or fails with an untyped internal error, is itself a
+// failure-safety bug.
+//
+// Run with `go test -fuzz=FuzzRecoverGarbageLog ./internal/recovery`;
+// under plain `go test` the checked-in corpus in testdata/fuzz acts as a
+// regression suite.
+func FuzzRecoverGarbageLog(f *testing.F) {
+	f.Add(int64(1), uint64(3))
+	f.Add(int64(42), uint64(63))
+	f.Add(int64(-7), uint64(0))
+	f.Fuzz(func(t *testing.T, seed int64, blocks uint64) {
 		rng := rand.New(rand.NewSource(seed))
 		img := nvm.NewStore()
-		for t := 0; t < 2; t++ {
-			base, limit := isa.LogWindow(t)
-			for i := 0; i < int(blocks)%64+1; i++ {
+		for th := 0; th < 2; th++ {
+			base, limit := isa.LogWindow(th)
+			for i := 0; i < int(blocks%64)+1; i++ {
 				line := base + uint64(rng.Int63n(int64((limit-base)/isa.LineSize)))*isa.LineSize
 				buf := make([]byte, isa.LineSize)
 				rng.Read(buf)
 				img.Write(line, buf)
 			}
 			// Random logFlag too.
-			img.WriteUint64(logfmt.LogFlagAddr(t), rng.Uint64()&0xFFFF_0000_0000_00FF)
+			img.WriteUint64(logfmt.LogFlagAddr(th), rng.Uint64()&0xFFFF_0000_0000_00FF)
 		}
-		for _, s := range []core.Scheme{core.Proteus, core.ProteusNoLWR, core.ATOM, core.PMEMNoLog} {
-			if _, err := Recover(img.Snapshot(), s, 2); err != nil {
-				// Errors are acceptable (corruption detected); panics are
-				// not — quick.Check would surface them as test failures.
-				continue
+		for _, s := range []core.Scheme{core.PMEM, core.Proteus, core.ProteusNoLWR, core.ATOM, core.PMEMNoLog} {
+			if _, err := Recover(img.Snapshot(), s, 2); err != nil && !IsDetectedCorruption(err) {
+				t.Fatalf("scheme %v: garbage log produced an untyped error: %v", s, err)
 			}
 		}
-		// The SW protocol may legitimately report corruption; it must not
-		// panic either.
-		_, _ = Recover(img.Snapshot(), core.PMEM, 2)
-		return true
-	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
-		t.Fatal(err)
-	}
+	})
 }
 
-// TestRecoveryHalfTornEntries: entries with valid flags but garbage
-// payloads apply without panicking and only touch persistent space.
-func TestRecoveryHalfTornEntries(t *testing.T) {
-	prop := func(from uint64, tx uint32, seq uint64) bool {
+// FuzzRecoverTornFlag: a software-logging crash image whose logFlag
+// claims in-flight entries, with one log line torn (only a prefix of its
+// 8-byte words persisted), must either recover cleanly or detect the
+// damage with a typed error. An untorn image must always recover and
+// apply exactly the flagged entry count.
+func FuzzRecoverTornFlag(f *testing.F) {
+	f.Add(uint64(2), uint64(0), uint64(8), int64(11))
+	f.Add(uint64(4), uint64(3), uint64(3), int64(5))
+	f.Add(uint64(1), uint64(1), uint64(0), int64(-2))
+	f.Fuzz(func(t *testing.T, entries, tearLine, tearWords uint64, seed int64) {
+		n := int(entries%4) + 1
+		rng := rand.New(rand.NewSource(seed))
 		img := nvm.NewStore()
 		base, _ := isa.LogWindow(0)
-		// Constrain log-from into the persistent heap so the entry is
-		// plausible; recovery applies it blindly (it trusts its own log).
 		hb, hl := isa.HeapWindow(0)
-		e := logfmt.ProteusEntry{From: hb + from%(hl-hb-64), Tx: tx%8 + 1, Seq: seq}
-		line := logfmt.EncodeProteus(e)
-		img.Write(base, line[:])
-		res, err := Recover(img, core.Proteus, 1)
-		if err != nil {
-			return false
+		heapLines := (hl - hb) / isa.LineSize
+		const tx = 7
+		for i := 0; i < n; i++ {
+			var data [isa.LineSize]byte
+			rng.Read(data[:])
+			from := hb + uint64(rng.Int63n(int64(heapLines)))*isa.LineSize
+			meta := logfmt.EncodePairMeta(logfmt.PairEntry{
+				From: from, Tx: tx, Len: isa.LineSize,
+				DataCRC: logfmt.PairDataCRC(data[:]),
+			})
+			img.Write(base+uint64(i)*logfmt.PairEntrySize, meta[:])
+			img.Write(base+uint64(i)*logfmt.PairEntrySize+isa.LineSize, data[:])
 		}
-		return res.EntriesApplied == 1
-	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
-		t.Fatal(err)
-	}
+		img.WriteUint64(logfmt.LogFlagAddr(0), logfmt.PackLogFlag(tx, n))
+
+		kept := int(tearWords % 9) // persisted 8-byte words of the torn line
+		torn := kept < 8
+		if torn {
+			// Tear one of the 2n log lines (meta or data): the suffix
+			// beyond the persisted prefix never reached NVM.
+			line := base + (tearLine%uint64(2*n))*isa.LineSize
+			buf := img.Read(line, isa.LineSize)
+			for b := kept * 8; b < isa.LineSize; b++ {
+				buf[b] = 0
+			}
+			img.Write(line, buf)
+		}
+
+		res, err := Recover(img, core.PMEM, 1)
+		if err != nil {
+			if !IsDetectedCorruption(err) {
+				t.Fatalf("torn log produced an untyped error: %v", err)
+			}
+			return
+		}
+		if !torn && res.EntriesApplied != n {
+			t.Fatalf("untorn log: applied %d entries, flag said %d", res.EntriesApplied, n)
+		}
+		if flag := img.ReadUint64(logfmt.LogFlagAddr(0)); flag != 0 {
+			t.Fatalf("recovery succeeded but left logFlag %#x set", flag)
+		}
+	})
 }

@@ -2,6 +2,7 @@ package recovery
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/heap"
 	"repro/internal/isa"
@@ -69,6 +70,10 @@ func NewOracle(w *workload.Workload) *Oracle {
 				add(a)
 			}
 		}
+		// Sort so verification scans (and reports first mismatches) in
+		// ascending address order: diagnostics stay deterministic across
+		// processes despite the map-ordered build above.
+		sort.Slice(words, func(i, j int) bool { return words[i] < words[j] })
 		o.domain = append(o.domain, words)
 		o.uncovered = append(o.uncovered, unc)
 	}
@@ -163,6 +168,45 @@ words:
 		return fmt.Errorf("word %#x: got %#x, want %#x (after %d txns)", a, got, want, m)
 	}
 	return nil
+}
+
+// ThreadStatus reports one thread's verification outcome.
+type ThreadStatus struct {
+	Thread    int
+	Committed int    // prefix length the simulator recorded
+	Matched   int    // prefix length the image matches; -1 on mismatch
+	Mismatch  string // first divergent word when Matched < 0
+}
+
+// OK reports whether the thread's state verified.
+func (s ThreadStatus) OK() bool { return s.Matched >= 0 }
+
+// Report verifies every thread and returns a status per thread, rather
+// than stopping at the first mismatch as VerifyPrefix does. It exists for
+// diagnostics: a crash-campaign reproducer or proteus-recover run wants
+// the full per-thread picture of a failed image.
+func (o *Oracle) Report(img *nvm.Store, committed []int, sw bool) []ThreadStatus {
+	out := make([]ThreadStatus, len(o.txns))
+	for t := range o.txns {
+		n := 0
+		if t < len(committed) {
+			n = committed[t]
+		}
+		st := ThreadStatus{Thread: t, Committed: n, Matched: -1}
+		for _, m := range []int{n, n + 1} {
+			if m > len(o.txns[t]) {
+				break
+			}
+			if err := o.verifyThreadAt(img, t, m, sw); err == nil {
+				st.Matched = m
+				break
+			} else if st.Mismatch == "" {
+				st.Mismatch = err.Error()
+			}
+		}
+		out[t] = st
+	}
+	return out
 }
 
 // Threads returns the thread count the oracle covers.

@@ -19,9 +19,17 @@
 //     the entry metadata realizes.
 //   - ATOM: all non-truncated entries belong to in-flight transactions and
 //     are applied newest-transaction-first.
+//
+// Recovery trusts nothing it reads: every scan is bounded by the log
+// window, entry counts and sizes are clamped before they index memory,
+// and integrity checksums (logfmt) are verified on every entry before it
+// is applied. A violated check aborts with a typed error — ErrCorruptLog
+// or ErrTruncatedEntry — rather than silently applying damaged state; the
+// crash-injection campaign counts these detected-corruption events.
 package recovery
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -30,6 +38,24 @@ import (
 	"repro/internal/logfmt"
 	"repro/internal/nvm"
 )
+
+// ErrCorruptLog marks an integrity violation in a log area: a checksum
+// mismatch, an impossible field (a log-from address outside the
+// persistent heap), or a nonzero line that holds no entry. Recovery never
+// applies data from such a log.
+var ErrCorruptLog = errors.New("corrupt log")
+
+// ErrTruncatedEntry marks a self-inconsistent entry boundary: an entry
+// count pointing past the log window, a logged length larger than a cache
+// line, or a flagged entry that is missing from the log.
+var ErrTruncatedEntry = errors.New("truncated log entry")
+
+// IsDetectedCorruption reports whether a recovery error is a typed
+// integrity detection (ErrCorruptLog or ErrTruncatedEntry) — damage that
+// recovery noticed and refused, as opposed to an internal failure.
+func IsDetectedCorruption(err error) bool {
+	return errors.Is(err, ErrCorruptLog) || errors.Is(err, ErrTruncatedEntry)
+}
 
 // Result summarizes a recovery pass.
 type Result struct {
@@ -70,6 +96,14 @@ func Recover(img *nvm.Store, scheme core.Scheme, threads int) (*Result, error) {
 	return res, nil
 }
 
+// validFrom reports whether a log-from address may be restored to: it must
+// lie in the persistent heap. Applying an undo entry anywhere else (the
+// log areas themselves, the volatile region, unmapped space) can only be
+// corruption.
+func validFrom(addr uint64) bool {
+	return addr >= isa.HeapBase && addr < isa.LogBase
+}
+
 // recoverSW implements the Figure 2 protocol.
 func recoverSW(img *nvm.Store, thread int) ([]uint32, int, error) {
 	flagAddr := logfmt.LogFlagAddr(thread)
@@ -78,22 +112,42 @@ func recoverSW(img *nvm.Store, thread int) ([]uint32, int, error) {
 		return nil, 0, nil // no transaction in flight
 	}
 	tx, count := logfmt.UnpackLogFlag(flag)
-	base := logfmt.SWLogBase(thread)
+	base, limit := isa.LogWindow(thread)
+	// Clamp the entry count to what the log window can hold before it
+	// indexes anything: a corrupted flag must not walk the scan out of the
+	// window.
+	if maxEntries := int((limit - base) / logfmt.PairEntrySize); count < 0 || count > maxEntries {
+		return nil, 0, fmt.Errorf("%w: logFlag entry count %d exceeds window capacity %d", ErrTruncatedEntry, count, maxEntries)
+	}
 	applied := 0
 	// Undo in reverse entry order.
 	for i := count - 1; i >= 0; i-- {
 		metaAddr := base + uint64(i)*logfmt.PairEntrySize
-		meta, ok := logfmt.DecodePairMeta(img.Read(metaAddr, isa.LineSize))
-		if !ok {
-			return nil, 0, fmt.Errorf("sw log entry %d invalid at %#x", i, metaAddr)
+		meta, state := logfmt.DecodePairMetaChecked(img.Read(metaAddr, isa.LineSize))
+		switch state {
+		case logfmt.LineCorrupt:
+			return nil, 0, fmt.Errorf("%w: sw log entry %d at %#x fails its integrity check", ErrCorruptLog, i, metaAddr)
+		case logfmt.LineEmpty:
+			// The flag says this entry exists; an empty line means the
+			// entry was lost (torn flag/entry ordering violation).
+			return nil, 0, fmt.Errorf("%w: sw log entry %d at %#x missing (flag says %d entries)", ErrTruncatedEntry, i, metaAddr, count)
 		}
 		if meta.Tx != uint64(tx) {
 			// Entry from an older transaction: the crash hit during
 			// Step 1, before this transaction's entry was written. The
 			// flag would still be 0 then, so this is corruption.
-			return nil, 0, fmt.Errorf("sw log entry %d has tx %d, flag says %d", i, meta.Tx, tx)
+			return nil, 0, fmt.Errorf("%w: sw log entry %d has tx %d, flag says %d", ErrCorruptLog, i, meta.Tx, tx)
+		}
+		if meta.Len > isa.LineSize {
+			return nil, 0, fmt.Errorf("%w: sw log entry %d claims %d logged bytes (max %d)", ErrTruncatedEntry, i, meta.Len, isa.LineSize)
+		}
+		if !validFrom(meta.From) {
+			return nil, 0, fmt.Errorf("%w: sw log entry %d restores to %#x outside the persistent heap", ErrCorruptLog, i, meta.From)
 		}
 		data := img.Read(metaAddr+isa.LineSize, int(meta.Len))
+		if logfmt.PairDataCRC(data) != meta.DataCRC {
+			return nil, 0, fmt.Errorf("%w: sw log entry %d data line fails its checksum", ErrCorruptLog, i)
+		}
 		img.Write(meta.From, data)
 		applied++
 	}
@@ -115,9 +169,15 @@ func recoverProteus(img *nvm.Store, thread int) ([]uint32, int, error) {
 	marked := make(map[uint32]bool)
 	var maxTx uint32
 	for _, line := range img.LinesIn(base, limit) {
-		e, ok := logfmt.DecodeProteus(img.Read(line, isa.LineSize))
-		if !ok {
+		e, state := logfmt.DecodeProteusChecked(img.Read(line, isa.LineSize))
+		switch state {
+		case logfmt.LineEmpty:
 			continue
+		case logfmt.LineCorrupt:
+			return nil, 0, fmt.Errorf("%w: log line at %#x fails its integrity check", ErrCorruptLog, line)
+		}
+		if !validFrom(e.From) {
+			return nil, 0, fmt.Errorf("%w: log entry at %#x restores to %#x outside the persistent heap", ErrCorruptLog, line, e.From)
 		}
 		byTx[e.Tx] = append(byTx[e.Tx], proteusEntry{at: line, e: e})
 		if e.Last {
@@ -136,7 +196,9 @@ func recoverProteus(img *nvm.Store, thread int) ([]uint32, int, error) {
 	// A transaction with a durable end mark committed — it and everything
 	// older is durable. A missing transaction ID means no older
 	// transaction can have durable-but-unlogged state (a store is durable
-	// only after its log entry is), so the walk stops.
+	// only after its log entry is), so the walk stops. The walk visits at
+	// most one transaction per decoded entry, so it is bounded by the log
+	// window regardless of what the entries claim.
 	for tx := maxTx; tx > 0; tx-- {
 		entries, present := byTx[tx]
 		if !present {
@@ -174,9 +236,18 @@ func recoverATOM(img *nvm.Store, thread int) ([]uint32, int, error) {
 		if (line-base)%logfmt.PairEntrySize != 0 {
 			continue // data line
 		}
-		e, ok := logfmt.DecodePairMeta(img.Read(line, isa.LineSize))
-		if !ok {
+		e, state := logfmt.DecodePairMetaChecked(img.Read(line, isa.LineSize))
+		switch state {
+		case logfmt.LineEmpty:
 			continue // truncated or never written
+		case logfmt.LineCorrupt:
+			return nil, 0, fmt.Errorf("%w: log meta line at %#x fails its integrity check", ErrCorruptLog, line)
+		}
+		if e.Len > isa.LineSize {
+			return nil, 0, fmt.Errorf("%w: log entry at %#x claims %d logged bytes (max %d)", ErrTruncatedEntry, line, e.Len, isa.LineSize)
+		}
+		if !validFrom(e.From) {
+			return nil, 0, fmt.Errorf("%w: log entry at %#x restores to %#x outside the persistent heap", ErrCorruptLog, line, e.From)
 		}
 		if _, seen := byTx[e.Tx]; !seen {
 			txs = append(txs, e.Tx)
@@ -189,6 +260,9 @@ func recoverATOM(img *nvm.Store, thread int) ([]uint32, int, error) {
 	for _, tx := range txs {
 		for _, en := range byTx[tx] {
 			data := img.Read(en.metaAt+isa.LineSize, int(en.e.Len))
+			if logfmt.PairDataCRC(data) != en.e.DataCRC {
+				return nil, 0, fmt.Errorf("%w: log entry at %#x data line fails its checksum", ErrCorruptLog, en.metaAt)
+			}
 			img.Write(en.e.From, data)
 			var zero [isa.LineSize]byte
 			img.Write(en.metaAt, zero[:])

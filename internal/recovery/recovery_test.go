@@ -132,10 +132,10 @@ func TestSWRecovery(t *testing.T) {
 	img.WriteUint64(dataAddr, 999)
 
 	base := logfmt.SWLogBase(0)
-	meta := logfmt.EncodePairMeta(logfmt.PairEntry{From: dataAddr, Tx: 6, Len: isa.LineSize})
-	img.Write(base, meta[:])
 	var data [isa.LineSize]byte
 	data[0] = 77
+	meta := logfmt.EncodePairMeta(logfmt.PairEntry{From: dataAddr, Tx: 6, Len: isa.LineSize, DataCRC: logfmt.PairDataCRC(data[:])})
+	img.Write(base, meta[:])
 	img.Write(base+isa.LineSize, data[:])
 	img.WriteUint64(logfmt.LogFlagAddr(0), logfmt.PackLogFlag(6, 1))
 
@@ -170,10 +170,10 @@ func TestATOMRecovery(t *testing.T) {
 
 	base, _ := isa.LogWindow(0)
 	// Valid entry for a (txn 9).
-	meta := logfmt.EncodePairMeta(logfmt.PairEntry{From: a, Tx: 9, Len: isa.LineSize})
-	img.Write(base, meta[:])
 	var data [isa.LineSize]byte
 	data[0] = 11
+	meta := logfmt.EncodePairMeta(logfmt.PairEntry{From: a, Tx: 9, Len: isa.LineSize, DataCRC: logfmt.PairDataCRC(data[:])})
+	img.Write(base, meta[:])
 	img.Write(base+isa.LineSize, data[:])
 	// Truncated (zeroed) entry for b.
 	var zero [isa.LineSize]byte
