@@ -24,6 +24,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -38,6 +39,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/resultstore"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -57,6 +59,7 @@ func main() {
 		traceDir   = flag.String("trace-dir", "", "write one epoch-sampled JSONL trace per simulation job into this directory")
 		traceEpoch = flag.Uint64("trace-epoch", trace.DefaultEpoch, "cycles between trace samples (with -trace-dir)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
+		storeDir   = flag.String("store", "", "persistent result store directory: reruns of identical tuples are answered from disk")
 	)
 	flag.Parse()
 	if *csvDir != "" {
@@ -88,6 +91,11 @@ func main() {
 	defer stop()
 
 	econf := engine.Config{Workers: *jobs, JobTimeout: *jobTimeout}
+	if *storeDir != "" {
+		st, err := resultstore.Open(*storeDir)
+		exitOn(err)
+		econf.Store = st
+	}
 	if *traceDir != "" {
 		dir, epoch := *traceDir, *traceEpoch
 		econf.Trace = func(j engine.Job) (*trace.Tracer, error) {
@@ -155,10 +163,11 @@ func main() {
 		if !ok {
 			return
 		}
-		f, err := os.Create(filepath.Join(*csvDir, "fig"+name+".csv"))
-		exitOn(err)
-		exitOn(tab.WriteCSV(f))
-		exitOn(f.Close())
+		// Atomic publish: an interrupted run never leaves a truncated
+		// table where a previous complete one stood.
+		var buf bytes.Buffer
+		exitOn(tab.WriteCSV(&buf))
+		exitOn(resultstore.WriteFileAtomic(filepath.Join(*csvDir, "fig"+name+".csv"), buf.Bytes(), 0o644))
 	}
 
 	ran := false
@@ -211,13 +220,15 @@ func main() {
 	if *csvDir != "" {
 		// The per-job metrics summary rides along with the tables: one row
 		// per executed simulation (cycles, wall time, failure if any).
+		// Written atomically so an interrupted run never leaves truncated
+		// JSON on disk.
 		data, err := json.MarshalIndent(eng.Metrics(), "", "  ")
 		exitOn(err)
-		exitOn(os.WriteFile(filepath.Join(*csvDir, "metrics.json"), append(data, '\n'), 0o644))
+		exitOn(resultstore.WriteFileAtomic(filepath.Join(*csvDir, "metrics.json"), append(data, '\n'), 0o644))
 	}
 	c := eng.Counters()
-	fmt.Fprintf(os.Stderr, "proteus-bench: %d simulations (%d failed, %d duplicate requests served from cache, %d workloads built) in %v\n",
-		c.Simulated, c.Failed, c.Deduped, c.WorkloadsBuilt, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "proteus-bench: %d simulations (%d failed, %d duplicate requests served from cache, %d answered from result store, %d workloads built) in %v\n",
+		c.Simulated, c.Failed, c.Deduped, c.StoreHits, c.WorkloadsBuilt, time.Since(start).Round(time.Millisecond))
 	if c.Failed > 0 {
 		for _, m := range eng.Metrics() {
 			if m.Err != "" {

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/crashcampaign"
 	"repro/internal/engine"
+	"repro/internal/resultstore"
 	"repro/internal/workload"
 )
 
@@ -48,6 +50,7 @@ func main() {
 		initOps    = flag.Int("initops", 256, "initialization operations per thread")
 		wseed      = flag.Int64("wseed", 11, "workload seed")
 		seed       = flag.Int64("seed", 1, "campaign seed: crash-point choice and per-line fault randomness")
+		storeDir   = flag.String("store", "", "persistent result store directory for the underlying simulations")
 		verbose    = flag.Bool("v", false, "log engine job activity to stderr")
 	)
 	flag.Parse()
@@ -71,6 +74,11 @@ func main() {
 	}
 
 	engCfg := engine.Config{Workers: *jobs, JobTimeout: *jobTimeout}
+	if *storeDir != "" {
+		st, err := resultstore.Open(*storeDir)
+		exitOn(err)
+		engCfg.Store = st
+	}
 	if *verbose {
 		engCfg.Progress = func(ev engine.Event) {
 			if ev.Phase == engine.JobDone {
@@ -98,14 +106,14 @@ func main() {
 	rep, err := crashcampaign.Run(context.Background(), camp)
 	exitOn(err)
 
-	var w *os.File = os.Stdout
-	if *out != "-" {
-		w, err = os.Create(*out)
-		exitOn(err)
-	}
-	exitOn(rep.WriteJSON(w))
-	if *out != "-" {
-		exitOn(w.Close())
+	if *out == "-" {
+		exitOn(rep.WriteJSON(os.Stdout))
+	} else {
+		// Buffer and publish atomically: a crash mid-write never clobbers
+		// the previous complete report.
+		var buf bytes.Buffer
+		exitOn(rep.WriteJSON(&buf))
+		exitOn(resultstore.WriteFileAtomic(*out, buf.Bytes(), 0o644))
 	}
 
 	fmt.Fprintf(os.Stderr, "campaign: %d tuples, %d injections in %v\n",

@@ -1,0 +1,110 @@
+// Command proteus-served runs the simulation job server: an HTTP JSON
+// service that accepts single simulations, figure suites and crash
+// campaigns, executes them on the shared simulation engine, and answers
+// repeated tuples from the persistent on-disk result store.
+//
+// The server is production-shaped: a bounded admission queue rejects
+// overload with 429 + Retry-After, identical in-flight submissions are
+// collapsed into one task, per-request deadlines and client disconnects
+// cancel the underlying engine contexts, and SIGTERM/SIGINT triggers a
+// graceful drain (stop accepting, finish queued work, then exit 0).
+//
+// Example:
+//
+//	proteus-served -addr :8080 -store proteus-store -queue 64
+//	curl -XPOST localhost:8080/v1/jobs -d '{"type":"sim","bench":"QE","scheme":"Proteus"}'
+//	curl localhost:8080/v1/jobs/job-1
+//	curl localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/resultstore"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		storeDir     = flag.String("store", "proteus-store", "persistent result store directory (empty disables)")
+		queueDepth   = flag.Int("queue", 64, "admission queue depth (full queue => 429)")
+		workers      = flag.Int("workers", 2, "concurrently executing jobs")
+		jobs         = flag.Int("jobs", 0, "engine simulation workers per job (0 = GOMAXPROCS)")
+		jobTimeout   = flag.Duration("timeout", 30*time.Minute, "default wall-clock limit per job (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long a SIGTERM drain waits before cancelling running jobs")
+	)
+	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+
+	econf := engine.Config{Workers: *jobs}
+	var store *resultstore.Store
+	if *storeDir != "" {
+		var err error
+		store, err = resultstore.Open(*storeDir)
+		exitOn(err)
+		econf.Store = store
+		logger.Info("result store open", "dir", *storeDir)
+	}
+	eng := engine.New(econf)
+
+	srv, err := serve.New(serve.Config{
+		Engine:         eng,
+		Store:          store,
+		QueueDepth:     *queueDepth,
+		Workers:        *workers,
+		DefaultTimeout: *jobTimeout,
+		Logger:         logger,
+	})
+	exitOn(err)
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Info("listening", "addr", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		exitOn(err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	// Graceful drain: refuse new submissions, finish (or, past the
+	// deadline, cancel) queued and running work, then stop the listener.
+	logger.Info("signal received, draining", "timeout", drainTimeout.String())
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		logger.Warn("drain deadline forced cancellation", "err", err.Error())
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Warn("http shutdown", "err", err.Error())
+	}
+	logger.Info("drained, exiting")
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proteus-served:", err)
+		os.Exit(1)
+	}
+}

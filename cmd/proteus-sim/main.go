@@ -9,6 +9,10 @@
 // -trace records an epoch-sampled JSONL trace of the run (ROB/LSQ/LogQ
 // occupancy, stall causes, WPQ/LPQ depth, NVM bank pressure); render it
 // with proteus-trace -timeline.
+//
+// -store names a persistent result-store directory (shared with
+// proteus-bench and proteus-served): a rerun of an identical tuple is
+// answered from disk without simulating.
 package main
 
 import (
@@ -17,12 +21,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strings"
 	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/resultstore"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -42,14 +46,15 @@ func main() {
 		jobTimeout = flag.Duration("timeout", 0, "wall-clock limit for the simulation, e.g. 10m (0 = none)")
 		traceOut   = flag.String("trace", "", "write an epoch-sampled JSONL trace of the run to this file")
 		traceEpoch = flag.Uint64("trace-epoch", trace.DefaultEpoch, "cycles between trace samples")
+		storeDir   = flag.String("store", "", "persistent result store directory: reruns of an identical tuple are answered from disk")
 	)
 	flag.Parse()
 
-	kind, err := parseBench(*benchName)
+	kind, err := workload.KindByName(*benchName)
 	exitOn(err)
-	scheme, err := parseScheme(*schemeName)
+	scheme, err := core.SchemeByName(*schemeName)
 	exitOn(err)
-	memKind, err := parseMem(*memName)
+	memKind, err := config.ParseMemKind(*memName)
 	exitOn(err)
 
 	p := kind.DefaultParams(1)
@@ -77,6 +82,11 @@ func main() {
 
 	fmt.Printf("building %v: threads=%d init=%d sim=%d ...\n", kind, p.Threads, p.InitOps, p.SimOps)
 	econf := engine.Config{Workers: 1, JobTimeout: *jobTimeout}
+	if *storeDir != "" {
+		st, err := resultstore.Open(*storeDir)
+		exitOn(err)
+		econf.Store = st
+	}
 	if *traceOut != "" {
 		econf.Trace = func(j engine.Job) (*trace.Tracer, error) {
 			f, err := os.Create(*traceOut)
@@ -96,7 +106,11 @@ func main() {
 	start := time.Now()
 	res, err := eng.Run(ctx, engine.Job{Kind: kind, Params: p, Scheme: scheme, Config: cfg})
 	exitOn(err)
-	fmt.Printf("simulated in %v\n", time.Since(start).Round(time.Millisecond))
+	if eng.Counters().StoreHits > 0 {
+		fmt.Printf("answered from result store in %v\n", time.Since(start).Round(time.Millisecond))
+	} else {
+		fmt.Printf("simulated in %v\n", time.Since(start).Round(time.Millisecond))
+	}
 	if *traceOut != "" {
 		fmt.Printf("trace written to %s (1 sample per %d cycles)\n", *traceOut, *traceEpoch)
 	}
@@ -136,36 +150,6 @@ func max64(a, b uint64) uint64 {
 		return a
 	}
 	return b
-}
-
-func parseBench(s string) (workload.Kind, error) {
-	for _, k := range append(append([]workload.Kind{}, workload.Table2...), workload.LinkedList) {
-		if strings.EqualFold(k.Abbrev(), s) {
-			return k, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown benchmark %q (want QE, HM, SS, AT, BT, RT, LL)", s)
-}
-
-func parseScheme(s string) (core.Scheme, error) {
-	for _, sc := range core.Schemes {
-		if strings.EqualFold(sc.String(), s) {
-			return sc, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown scheme %q", s)
-}
-
-func parseMem(s string) (config.MemKind, error) {
-	switch strings.ToLower(s) {
-	case "nvm-fast", "nvm":
-		return config.NVMFast, nil
-	case "nvm-slow", "slow":
-		return config.NVMSlow, nil
-	case "dram":
-		return config.DRAM, nil
-	}
-	return 0, fmt.Errorf("unknown memory kind %q", s)
 }
 
 func exitOn(err error) {

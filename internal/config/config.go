@@ -10,6 +10,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strings"
 )
 
 // MemKind selects the main-memory device model.
@@ -35,6 +36,21 @@ func (k MemKind) String() string {
 		return "dram"
 	}
 	return fmt.Sprintf("MemKind(%d)", int(k))
+}
+
+// ParseMemKind resolves a memory kind by name, case-insensitively
+// ("nvm-fast"/"nvm", "nvm-slow"/"slow", "dram"). It is the shared parser
+// for every CLI flag and HTTP job spec naming a memory kind.
+func ParseMemKind(s string) (MemKind, error) {
+	switch strings.ToLower(s) {
+	case "nvm-fast", "nvm":
+		return NVMFast, nil
+	case "nvm-slow", "slow":
+		return NVMSlow, nil
+	case "dram":
+		return DRAM, nil
+	}
+	return 0, fmt.Errorf("config: unknown memory kind %q (want nvm-fast, nvm-slow, dram)", s)
 }
 
 // Core holds the out-of-order core parameters (Table 1, Processor row).
@@ -232,9 +248,13 @@ func (c Config) Validate() error {
 // Fingerprint returns a short stable digest covering every configuration
 // field. Two configs share a fingerprint exactly when they are equal, so
 // it serves as a memoization key for simulation results: the engine runs
-// each (workload, scheme, fingerprint) tuple at most once per invocation.
-// The digest hashes the Go-syntax rendering of the struct, so it is stable
-// within a build but intentionally changes when fields are added.
+// each (workload, scheme, fingerprint) tuple at most once per invocation,
+// and the same key addresses the persistent result store shared by the
+// CLIs and the job server — a silent collision would serve one config's
+// results for another's, so TestFingerprintCoversEveryField asserts by
+// reflection that mutating any field changes the digest. The digest
+// hashes the Go-syntax rendering of the struct, so it is stable within a
+// build but intentionally changes when fields are added.
 func (c Config) Fingerprint() string {
 	h := sha256.Sum256([]byte(fmt.Sprintf("%#v", c)))
 	return hex.EncodeToString(h[:8])

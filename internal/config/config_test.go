@@ -1,6 +1,9 @@
 package config
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestDefaultMatchesTable1(t *testing.T) {
 	c := Default()
@@ -113,5 +116,94 @@ func TestFingerprintStableAndDiscriminating(t *testing.T) {
 			t.Errorf("mutation %d collides with %d: %s", i, prev, fp)
 		}
 		seen[fp] = i
+	}
+}
+
+// TestFingerprintCoversEveryField walks every leaf field of Config by
+// reflection and asserts that mutating it changes the fingerprint. The
+// fingerprint keys the persistent result store shared across processes,
+// so a field the digest misses would silently serve one configuration's
+// simulation results for another's.
+func TestFingerprintCoversEveryField(t *testing.T) {
+	base := Default()
+	baseFP := base.Fingerprint()
+
+	var leaves []string
+	var walk func(v reflect.Value, path string)
+	walk = func(v reflect.Value, path string) {
+		if v.Kind() == reflect.Struct {
+			for i := 0; i < v.NumField(); i++ {
+				f := v.Type().Field(i)
+				walk(v.Field(i), path+"."+f.Name)
+			}
+			return
+		}
+		leaves = append(leaves, path)
+		if !v.CanSet() {
+			t.Fatalf("%s: cannot set", path)
+		}
+		switch v.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			v.SetInt(v.Int() + 1)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			v.SetUint(v.Uint() + 1)
+		case reflect.Float32, reflect.Float64:
+			v.SetFloat(v.Float() + 0.5)
+		case reflect.Bool:
+			v.SetBool(!v.Bool())
+		case reflect.String:
+			v.SetString(v.String() + "x")
+		default:
+			t.Fatalf("%s: unhandled leaf kind %v — extend the mutator AND check Fingerprint covers it", path, v.Kind())
+		}
+	}
+
+	rt := reflect.TypeOf(base)
+	// Mutate one leaf at a time: re-walk from a fresh Default() and stop
+	// the mutation at the target index.
+	count := 0
+	var countLeaves func(t reflect.Type) int
+	countLeaves = func(t reflect.Type) int {
+		if t.Kind() != reflect.Struct {
+			return 1
+		}
+		n := 0
+		for i := 0; i < t.NumField(); i++ {
+			n += countLeaves(t.Field(i).Type)
+		}
+		return n
+	}
+	count = countLeaves(rt)
+	if count == 0 {
+		t.Fatal("no leaf fields found")
+	}
+
+	for target := 0; target < count; target++ {
+		c := Default()
+		idx := 0
+		leaves = leaves[:0]
+		var mutateNth func(v reflect.Value, path string)
+		mutateNth = func(v reflect.Value, path string) {
+			if v.Kind() == reflect.Struct {
+				for i := 0; i < v.NumField(); i++ {
+					mutateNth(v.Field(i), path+"."+v.Type().Field(i).Name)
+				}
+				return
+			}
+			if idx == target {
+				walk(v, path)
+			}
+			idx++
+		}
+		mutateNth(reflect.ValueOf(&c).Elem(), "Config")
+		if len(leaves) != 1 {
+			t.Fatalf("target %d: mutated %d leaves, want 1", target, len(leaves))
+		}
+		if fp := c.Fingerprint(); fp == baseFP {
+			t.Errorf("mutating %s did not change the fingerprint", leaves[0])
+		}
+	}
+	if idxWant := count; idxWant < 30 {
+		t.Fatalf("only %d leaf fields found — reflection walk looks broken", idxWant)
 	}
 }

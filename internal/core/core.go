@@ -8,6 +8,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/config"
@@ -62,6 +63,18 @@ func (s Scheme) String() string {
 		return "Proteus+NoLWR"
 	}
 	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// SchemeByName resolves a scheme by its display name, case-insensitively
+// ("proteus", "PMEM+pcommit", ...). It is the inverse of String and the
+// shared parser for every CLI flag and HTTP job spec naming a scheme.
+func SchemeByName(name string) (Scheme, error) {
+	for _, s := range Schemes {
+		if strings.EqualFold(s.String(), name) {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown scheme %q (want one of %v)", name, Schemes)
 }
 
 // Mode returns the core execution mode the scheme needs.

@@ -102,6 +102,9 @@ const (
 	// JobCached fires when a Run call is answered from the memo table
 	// (including waiting on an identical in-flight job).
 	JobCached
+	// JobStoreHit fires when a Run call is answered from the persistent
+	// result store (Config.Store) without simulating.
+	JobStoreHit
 )
 
 func (p Phase) String() string {
@@ -112,6 +115,8 @@ func (p Phase) String() string {
 		return "done"
 	case JobCached:
 		return "cached"
+	case JobStoreHit:
+		return "store-hit"
 	}
 	return fmt.Sprintf("Phase(%d)", int(p))
 }
@@ -123,6 +128,18 @@ type Event struct {
 	Phase   Phase
 	Err     error
 	Elapsed time.Duration // set on JobDone
+}
+
+// ResultStore persists successful results across processes. The engine
+// consults it after a memo-table miss (keyed by Job.Fingerprint()) and
+// writes every successfully simulated result back. Load returns (nil, nil)
+// on a miss; an error from either method is treated as a miss — a sick
+// store degrades to re-simulation, never to a failed job. Implementations
+// must be safe for concurrent use. Only completed results ever reach
+// Store: cancelled, timed-out and failed runs are not persisted.
+type ResultStore interface {
+	Load(key string) (*Result, error)
+	Store(key string, j Job, res *Result) error
 }
 
 // Config tunes an Engine.
@@ -139,6 +156,11 @@ type Config struct {
 	// into; a nil tracer skips tracing for that job. The engine closes
 	// the tracer when the simulation finishes.
 	Trace func(Job) (*trace.Tracer, error)
+	// Store, when non-nil, is the persistent result store: memo-table
+	// misses are answered from it when possible, and successful
+	// simulations are written back so identical tuples in later
+	// processes (or other transports) are near-instant.
+	Store ResultStore
 }
 
 // Counters reports what an engine has executed so far.
@@ -153,6 +175,9 @@ type Counters struct {
 	// job timeout or a simulation error); suite cancellations, which are
 	// retried on the next Run, are not counted.
 	Failed uint64
+	// StoreHits counts Run calls answered from the persistent result
+	// store (Config.Store) instead of simulating.
+	StoreHits uint64
 }
 
 // JobMetric records one executed simulation for the metrics summary.
@@ -186,6 +211,7 @@ type Engine struct {
 	deduped   atomic.Uint64
 	built     atomic.Uint64
 	failed    atomic.Uint64
+	storeHits atomic.Uint64
 }
 
 type jobEntry struct {
@@ -220,6 +246,7 @@ func (e *Engine) Counters() Counters {
 		Deduped:        e.deduped.Load(),
 		WorkloadsBuilt: e.built.Load(),
 		Failed:         e.failed.Load(),
+		StoreHits:      e.storeHits.Load(),
 	}
 }
 
@@ -280,6 +307,18 @@ func (e *Engine) Run(ctx context.Context, j Job) (*Result, error) {
 	e.jobs[key] = ent
 	e.mu.Unlock()
 
+	if e.conf.Store != nil {
+		// Memo miss: consult the persistent store before simulating. A
+		// load error degrades to a miss — the job is re-simulated.
+		if res, err := e.conf.Store.Load(j.Fingerprint()); err == nil && res != nil {
+			e.storeHits.Add(1)
+			ent.res = res
+			close(ent.done)
+			e.emit(Event{Job: j, Phase: JobStoreHit})
+			return res, nil
+		}
+	}
+
 	start := time.Now()
 	res, err := e.simulate(ctx, j)
 	elapsed := time.Since(start)
@@ -295,6 +334,11 @@ func (e *Engine) Run(ctx context.Context, j Job) (*Result, error) {
 	} else {
 		if err != nil {
 			e.failed.Add(1)
+		} else if e.conf.Store != nil {
+			// Persist only completed results; a write error is dropped
+			// (the caller still gets the live result) and the tuple is
+			// simply re-simulated by the next process.
+			_ = e.conf.Store.Store(j.Fingerprint(), j, res)
 		}
 		e.recordMetric(j, res, err, elapsed)
 	}

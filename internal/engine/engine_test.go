@@ -268,3 +268,129 @@ func TestExportedWorkloadSharesBuilds(t *testing.T) {
 		t.Fatalf("workload built %d times, want 1 (shared)", got)
 	}
 }
+
+// recordingStore is a fake ResultStore that records every Store call and
+// always misses on Load, so tests can assert what the engine persists.
+type recordingStore struct {
+	mu     sync.Mutex
+	stored []string
+}
+
+func (s *recordingStore) Load(string) (*Result, error) { return nil, nil }
+
+func (s *recordingStore) Store(key string, _ Job, _ *Result) error {
+	s.mu.Lock()
+	s.stored = append(s.stored, key)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *recordingStore) keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.stored...)
+}
+
+// bigJob is sized so a simulation runs long enough to be cancelled
+// mid-flight (the core checks its context every 100k simulated cycles).
+func bigJob() Job {
+	cfg := config.Default()
+	cfg.Cores = 2
+	return Job{
+		Kind:   workload.Queue,
+		Params: workload.Params{Threads: 2, InitOps: 4096, SimOps: 30000, Seed: 7},
+		Scheme: core.Proteus,
+		Config: cfg,
+	}
+}
+
+// TestCancelMidRunReturnsPromptly: cancelling the context while a
+// simulation is in flight returns within a fraction of the job's full
+// runtime, the aborted attempt is neither memoized nor persisted, and a
+// subsequent Run recomputes cleanly.
+func TestCancelMidRunReturnsPromptly(t *testing.T) {
+	store := &recordingStore{}
+	started := make(chan struct{})
+	var once sync.Once
+	e := New(Config{Workers: 1, Store: store, Progress: func(ev Event) {
+		if ev.Phase == JobStart {
+			once.Do(func() { close(started) })
+		}
+	}})
+	j := bigJob()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Run(ctx, j)
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled mid-run: err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled Run did not return promptly")
+	}
+
+	// The aborted attempt must not have been persisted...
+	if keys := store.keys(); len(keys) != 0 {
+		t.Fatalf("cancelled run was written to the result store: %v", keys)
+	}
+	// ...nor memoized: the retry recomputes and succeeds.
+	res, err := e.Run(context.Background(), j)
+	if err != nil {
+		t.Fatalf("retry after mid-run cancel: %v", err)
+	}
+	if res == nil || res.Report == nil || res.Report.Cycles == 0 {
+		t.Fatal("retry returned an empty result")
+	}
+	if c := e.Counters(); c.Failed != 0 {
+		t.Fatalf("cancellation counted as failure: %+v", c)
+	}
+	// Only the successful retry reached the store.
+	if keys := store.keys(); len(keys) != 1 || keys[0] != j.Fingerprint() {
+		t.Fatalf("store writes after retry = %v, want exactly [%s]", keys, j.Fingerprint())
+	}
+}
+
+// TestCancelDoesNotPoisonSharedEntry: when several callers share one
+// in-flight job and the whole engine run is cancelled, later engines (or
+// the same one) recompute rather than observing a poisoned memo entry.
+func TestCancelRunAllRecomputes(t *testing.T) {
+	store := &recordingStore{}
+	started := make(chan struct{})
+	var once sync.Once
+	e := New(Config{Workers: 2, Store: store, Progress: func(ev Event) {
+		if ev.Phase == JobStart {
+			once.Do(func() { close(started) })
+		}
+	}})
+	jobs := []Job{bigJob(), bigJob()} // identical: one shared entry
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- e.RunAll(ctx, jobs) }()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RunAll err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled RunAll did not return promptly")
+	}
+	if keys := store.keys(); len(keys) != 0 {
+		t.Fatalf("cancelled RunAll persisted results: %v", keys)
+	}
+	if err := e.RunAll(context.Background(), jobs); err != nil {
+		t.Fatalf("RunAll retry after cancel: %v", err)
+	}
+	if c := e.Counters(); c.Simulated != 1 {
+		t.Fatalf("retry simulated %d times, want 1 (identical jobs share one entry)", c.Simulated)
+	}
+}

@@ -1,0 +1,47 @@
+package resultstore
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path via a temporary file in the same
+// directory followed by os.Rename, so readers never observe a partially
+// written file and an interrupted writer never leaves truncated content
+// at the destination. The temporary file is fsynced before the rename,
+// making the publish durable on its own; a stale temp file from a crash
+// is harmless — it is never the destination name.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}

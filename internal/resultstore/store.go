@@ -1,0 +1,186 @@
+// Package resultstore is the persistent, content-addressed simulation
+// result cache behind internal/engine and the serving layer. Each entry
+// is one successfully completed simulation, keyed by the full job-tuple
+// fingerprint (engine.Job.Fingerprint(): workload kind, params, scheme,
+// config.Config.Fingerprint() and logging options), so a key collision
+// would require a fingerprint collision — which the config package's
+// field-coverage test guards against as Config grows.
+//
+// Layout: <dir>/<key[:2]>/<key>.json, one JSON document per entry,
+// written atomically (temp file + fsync + rename). The store therefore
+// survives process restarts and concurrent writers: two processes
+// storing the same key race benignly — both write identical bytes — and
+// a crash mid-write never leaves a truncated entry at a live name.
+//
+// Robustness over freshness: an unreadable, corrupt, mismatched or
+// wrong-schema entry is reported as a miss (never an error), so the
+// worst failure mode of the cache is re-simulation.
+package resultstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+// schemaVersion is bumped whenever the entry encoding changes shape;
+// entries with another schema are misses.
+const schemaVersion = 1
+
+var keyRE = regexp.MustCompile(`^[0-9a-f]{4,64}$`)
+
+// entry is the on-disk document. Field order is the canonical encoding
+// order: marshaling the same result always yields the same bytes, which
+// is what makes concurrent same-key writers benign and lets callers
+// compare cached and live payloads byte-for-byte.
+type entry struct {
+	Schema int    `json:"schema"`
+	Key    string `json:"key"`
+	Job    string `json:"job"` // human-readable tuple, for debugging only
+	Result result `json:"result"`
+}
+
+type result struct {
+	Report            *stats.Report `json:"report"`
+	EmittedLogFlushes uint64        `json:"emitted_log_flushes"`
+}
+
+// Counters snapshots store activity.
+type Counters struct {
+	// Hits counts Load calls that returned a result.
+	Hits uint64
+	// Misses counts Load calls that found nothing usable (including
+	// corrupt or unreadable entries).
+	Misses uint64
+	// Writes counts successful Store calls.
+	Writes uint64
+	// Errors counts Load/Store calls that failed on I/O or encoding.
+	Errors uint64
+}
+
+// Store is an on-disk result cache. It is safe for concurrent use by
+// multiple goroutines and multiple processes sharing the directory.
+type Store struct {
+	dir string
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	writes atomic.Uint64
+	errs   atomic.Uint64
+}
+
+// Open returns a store rooted at dir, creating it if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("resultstore: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Counters snapshots the store's activity counters.
+func (s *Store) Counters() Counters {
+	return Counters{
+		Hits:   s.hits.Load(),
+		Misses: s.misses.Load(),
+		Writes: s.writes.Load(),
+		Errors: s.errs.Load(),
+	}
+}
+
+// path shards entries by the first two key characters to keep directory
+// fan-out bounded on large stores.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// Load implements engine.ResultStore: it returns the stored result for
+// key, or (nil, nil) when the store has nothing usable. Corrupt entries
+// count as misses and are removed so they cannot shadow a future write.
+func (s *Store) Load(key string) (*engine.Result, error) {
+	if !keyRE.MatchString(key) {
+		s.misses.Add(1)
+		return nil, nil
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.misses.Add(1)
+		if !errors.Is(err, fs.ErrNotExist) {
+			s.errs.Add(1)
+		}
+		return nil, nil
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil || e.Schema != schemaVersion || e.Key != key || e.Result.Report == nil {
+		// A truncated, corrupt or foreign-schema entry: drop it and miss.
+		s.misses.Add(1)
+		s.errs.Add(1)
+		os.Remove(s.path(key))
+		return nil, nil
+	}
+	s.hits.Add(1)
+	return &engine.Result{Report: e.Result.Report, EmittedLogFlushes: e.Result.EmittedLogFlushes}, nil
+}
+
+// Store implements engine.ResultStore: it persists res under key with an
+// atomic write-then-rename, so a crash never leaves a partial entry.
+func (s *Store) Store(key string, j engine.Job, res *engine.Result) error {
+	if !keyRE.MatchString(key) {
+		s.errs.Add(1)
+		return fmt.Errorf("resultstore: malformed key %q", key)
+	}
+	if res == nil || res.Report == nil {
+		s.errs.Add(1)
+		return errors.New("resultstore: refusing to store an empty result")
+	}
+	e := entry{
+		Schema: schemaVersion,
+		Key:    key,
+		Job:    j.String(),
+		Result: result{Report: res.Report, EmittedLogFlushes: res.EmittedLogFlushes},
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		s.errs.Add(1)
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		s.errs.Add(1)
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := WriteFileAtomic(path, data, 0o644); err != nil {
+		s.errs.Add(1)
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	s.writes.Add(1)
+	return nil
+}
+
+// Len walks the store and returns the number of entries on disk.
+func (s *Store) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}

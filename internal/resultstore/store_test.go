@@ -1,0 +1,205 @@
+package resultstore
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func testJob() engine.Job {
+	cfg := config.Default()
+	cfg.Cores = 1
+	return engine.Job{
+		Kind:   workload.Queue,
+		Params: workload.Params{Threads: 1, InitOps: 32, SimOps: 8, Seed: 1},
+		Scheme: core.PMEMNoLog,
+		Config: cfg,
+	}
+}
+
+func testResult() *engine.Result {
+	rep := &stats.Report{Label: "test", Cycles: 12345, CoreStat: make([]stats.Core, 1)}
+	rep.CoreStat[0].Retired = 678
+	return &engine.Result{Report: rep, EmittedLogFlushes: 9}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, res := testJob(), testResult()
+	key := j.Fingerprint()
+
+	if got, err := s.Load(key); err != nil || got != nil {
+		t.Fatalf("Load before Store = (%v, %v), want miss", got, err)
+	}
+	if err := s.Store(key, j, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("Load after Store missed")
+	}
+	// The loaded result must serialize byte-identically to the live one:
+	// that equality is what lets the serving layer answer from disk
+	// without observable difference.
+	a, _ := json.Marshal(res)
+	b, _ := json.Marshal(got)
+	if string(a) != string(b) {
+		t.Fatalf("round trip changed the result:\nlive: %s\ndisk: %s", a, b)
+	}
+	c := s.Counters()
+	if c.Hits != 1 || c.Misses != 1 || c.Writes != 1 {
+		t.Fatalf("counters %+v, want 1 hit / 1 miss / 1 write", c)
+	}
+}
+
+func TestSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	j, res := testJob(), testResult()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Store(j.Fingerprint(), j, res); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Load(j.Fingerprint())
+	if err != nil || got == nil {
+		t.Fatalf("entry did not survive reopen: (%v, %v)", got, err)
+	}
+	if got.Report.Cycles != res.Report.Cycles {
+		t.Fatalf("cycles %d, want %d", got.Report.Cycles, res.Report.Cycles)
+	}
+	if n, err := s2.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = (%d, %v), want 1", n, err)
+	}
+}
+
+func TestCorruptEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := testJob()
+	key := j.Fingerprint()
+	if err := s.Store(key, j, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key[:2], key+".json")
+	// Truncate the entry mid-document, as an interrupted non-atomic
+	// writer would have.
+	if err := os.WriteFile(path, []byte(`{"schema":1,"key":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Load(key); err != nil || got != nil {
+		t.Fatalf("corrupt entry loaded as (%v, %v), want miss", got, err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry was not removed")
+	}
+	if c := s.Counters(); c.Errors == 0 {
+		t.Fatalf("counters %+v: corruption not counted as an error", c)
+	}
+}
+
+func TestRejectsBadKeysAndEmptyResults(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := testJob()
+	if err := s.Store("../../etc/passwd", j, testResult()); err == nil {
+		t.Fatal("path-traversal key accepted")
+	}
+	if err := s.Store(j.Fingerprint(), j, &engine.Result{}); err == nil {
+		t.Fatal("empty result accepted")
+	}
+	if got, err := s.Load("ZZ"); err != nil || got != nil {
+		t.Fatal("malformed key did not miss cleanly")
+	}
+}
+
+func TestAtomicWriteLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.json")
+	if err := WriteFileAtomic(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("world"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "world" {
+		t.Fatalf("read back (%q, %v)", data, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(ents))
+	}
+}
+
+// TestEngineAnswersFromStore is the cross-process warm-cache contract:
+// a second engine sharing the store directory answers the same tuple
+// without simulating, and the result is byte-identical to the live run.
+func TestEngineAnswersFromStore(t *testing.T) {
+	dir := t.TempDir()
+	j := testJob()
+
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := engine.New(engine.Config{Workers: 1, Store: s1})
+	live, err := e1.Run(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := e1.Counters(); c.Simulated != 1 || c.StoreHits != 0 {
+		t.Fatalf("first engine counters %+v", c)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := engine.New(engine.Config{Workers: 1, Store: s2})
+	cached, err := e2.Run(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := e2.Counters(); c.Simulated != 0 || c.StoreHits != 1 {
+		t.Fatalf("second engine counters %+v, want 0 simulated / 1 store hit", c)
+	}
+	a, _ := json.Marshal(live)
+	b, _ := json.Marshal(cached)
+	if string(a) != string(b) {
+		t.Fatal("store-answered result differs from the live run")
+	}
+}

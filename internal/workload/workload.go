@@ -14,6 +14,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/heap"
 	"repro/internal/isa"
@@ -59,6 +60,18 @@ func (k Kind) String() string { return k.Abbrev() }
 
 // Table2 lists the six evaluation benchmarks in the paper's figure order.
 var Table2 = []Kind{Queue, HashMap, StringSwap, AVLTree, BTree, RBTree}
+
+// KindByName resolves a benchmark by its paper abbreviation,
+// case-insensitively (QE, HM, SS, AT, BT, RT, LL). It is the shared
+// parser for every CLI flag and HTTP job spec naming a benchmark.
+func KindByName(name string) (Kind, error) {
+	for _, k := range append(append([]Kind{}, Table2...), LinkedList) {
+		if strings.EqualFold(k.Abbrev(), name) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown benchmark %q (want QE, HM, SS, AT, BT, RT, LL)", name)
+}
 
 // Params configures a workload build.
 type Params struct {
