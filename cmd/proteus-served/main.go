@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/resultstore"
 	"repro/internal/serve"
@@ -43,6 +44,11 @@ func main() {
 		jobs         = flag.Int("jobs", 0, "engine simulation workers per job (0 = GOMAXPROCS)")
 		jobTimeout   = flag.Duration("timeout", 30*time.Minute, "default wall-clock limit per job (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long a SIGTERM drain waits before cancelling running jobs")
+
+		clusterOn   = flag.Bool("cluster", false, "act as cluster coordinator: scatter sim/campaign jobs to pull-based proteus-worker processes (mounts /v1/cluster/)")
+		leaseTTL    = flag.Duration("lease-ttl", 10*time.Second, "cluster lease TTL: a worker silent this long loses its items to requeue")
+		retryBudget = flag.Int("retry-budget", 4, "cluster lease grants per item before quarantine")
+		leaseBatch  = flag.Int("lease-batch", 8, "cluster max items per lease call")
 	)
 	flag.Parse()
 
@@ -59,12 +65,34 @@ func main() {
 	}
 	eng := engine.New(econf)
 
+	var coord *cluster.Coordinator
+	var janitorStop chan struct{}
+	if *clusterOn {
+		cconf := cluster.Config{
+			LeaseTTL:    *leaseTTL,
+			RetryBudget: *retryBudget,
+			MaxBatch:    *leaseBatch,
+			Logger:      logger,
+		}
+		if store != nil {
+			// Workers report results over the protocol; the coordinator
+			// publishes sims into the shared store so later submissions
+			// are answered without touching the cluster.
+			cconf.Publish = cluster.PublishToStore(store, logger)
+		}
+		coord = cluster.NewCoordinator(cconf)
+		janitorStop = make(chan struct{})
+		go coord.Janitor(0, janitorStop)
+		logger.Info("cluster coordinator enabled", "lease_ttl", leaseTTL.String(), "retry_budget", *retryBudget)
+	}
+
 	srv, err := serve.New(serve.Config{
 		Engine:         eng,
 		Store:          store,
 		QueueDepth:     *queueDepth,
 		Workers:        *workers,
 		DefaultTimeout: *jobTimeout,
+		Cluster:        coord,
 		Logger:         logger,
 	})
 	exitOn(err)
@@ -98,6 +126,9 @@ func main() {
 	defer cancel2()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Warn("http shutdown", "err", err.Error())
+	}
+	if janitorStop != nil {
+		close(janitorStop)
 	}
 	logger.Info("drained, exiting")
 }

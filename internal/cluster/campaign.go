@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+
+	"repro/internal/crashcampaign"
+	"repro/internal/engine"
+)
+
+// RunCampaign executes a crash campaign on the cluster: the bench ×
+// scheme matrix is scattered as one KindCampaignTuple item per pair
+// (placed on the ring by the tuple's job fingerprint), workers sweep each
+// tuple independently, and the coordinator gathers the TupleReports and
+// assembles the final report in matrix order — the exact shape
+// crashcampaign.Run produces locally, so the report bytes are identical
+// whether a campaign ran in-process, on 1 worker, or on N workers with
+// crashes along the way.
+//
+// A quarantined tuple (an item that failed its whole retry budget) fails
+// the campaign with ErrQuarantined rather than wedging it.
+func RunCampaign(ctx context.Context, co *Coordinator, c crashcampaign.Config) (*crashcampaign.Report, error) {
+	c.Normalize()
+	faults := make([]string, len(c.Faults))
+	for i, f := range c.Faults {
+		faults[i] = f.String()
+	}
+	var ids []string
+	for _, bench := range c.Benches {
+		for _, scheme := range c.Schemes {
+			w := TupleWork{
+				Bench:    bench.Abbrev(),
+				Scheme:   scheme.String(),
+				Params:   c.Params,
+				Sim:      c.Sim,
+				Sweep:    c.Sweep,
+				Rand:     c.Rand,
+				Faults:   faults,
+				Seed:     c.Seed,
+				Minimize: int(c.Minimize),
+			}
+			payload, err := json.Marshal(w)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: encoding tuple work: %w", err)
+			}
+			// Ring placement by the tuple's engine-job fingerprint: the
+			// same key the worker's reference run is stored under, so the
+			// tuple's natural home already holds (or will hold) its cache
+			// entry.
+			job := engine.Job{Kind: bench, Params: c.Params, Scheme: scheme, Config: c.Sim}
+			ids = append(ids, co.Enqueue(KindCampaignTuple, payload, job.Fingerprint(), nil))
+		}
+	}
+	tuples := make([]*crashcampaign.TupleReport, 0, len(ids))
+	for _, id := range ids {
+		raw, err := co.Wait(ctx, id)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: campaign tuple %s: %w", id, err)
+		}
+		var tr crashcampaign.TupleReport
+		if err := json.Unmarshal(raw, &tr); err != nil {
+			return nil, fmt.Errorf("cluster: decoding tuple report %s: %w", id, err)
+		}
+		tuples = append(tuples, &tr)
+	}
+	return crashcampaign.AssembleReport(c, tuples), nil
+}
+
+// RunSim executes one engine job on the cluster and returns its result.
+// The coordinator's Publish hook (see PublishToStore) writes the result
+// into the shared result store, so repeated submissions are answered
+// without re-simulating anywhere.
+func RunSim(ctx context.Context, co *Coordinator, j engine.Job) (*engine.Result, error) {
+	payload, err := json.Marshal(NewSimWork(j))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encoding sim work: %w", err)
+	}
+	id := co.Enqueue(KindSim, payload, j.Fingerprint(), nil)
+	raw, err := co.Wait(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	var out SimOutcome
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("cluster: decoding sim outcome: %w", err)
+	}
+	return &engine.Result{Report: out.Report, EmittedLogFlushes: out.EmittedLogFlushes}, nil
+}
+
+// PublishToStore returns a Coordinator Publish hook that writes completed
+// KindSim results into the shared result store — the coordinator-side
+// half of "workers report, the coordinator publishes". Decode or store
+// failures are dropped: the store is a cache, and the worst failure mode
+// stays re-simulation.
+func PublishToStore(store engine.ResultStore, log *slog.Logger) func(kind string, payload, result json.RawMessage) {
+	return func(kind string, payload, result json.RawMessage) {
+		if kind != KindSim || store == nil {
+			return
+		}
+		var w SimWork
+		var out SimOutcome
+		if json.Unmarshal(payload, &w) != nil || json.Unmarshal(result, &out) != nil || out.Report == nil {
+			return
+		}
+		j, err := w.Job()
+		if err != nil {
+			return
+		}
+		if err := store.Store(j.Fingerprint(), j, &engine.Result{
+			Report: out.Report, EmittedLogFlushes: out.EmittedLogFlushes,
+		}); err != nil && log != nil {
+			log.Warn("publishing worker result", "job", j.String(), "err", err.Error())
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Worker is the pull-based execution side of the cluster: it registers
+// with a coordinator, leases batches of items, heartbeats while
+// simulating, executes each item on its own engine (with its own result
+// store, typically a directory shared with the coordinator), and reports
+// results. It is fail-stop by design — a worker that dies mid-batch
+// simply stops heartbeating and the coordinator requeues its leases.
+type Worker struct {
+	// Name identifies the worker on the hash ring; required and unique
+	// per cluster.
+	Name string
+	// Coordinator is the job server's base URL (e.g. http://host:8080);
+	// the /v1/cluster prefix is appended by the client.
+	Coordinator string
+	// Engine executes leased work; required.
+	Engine *engine.Engine
+	// Batch is how many items to lease per pull; <= 0 means 2.
+	Batch int
+	// Poll is how long to wait between empty lease calls; <= 0 means the
+	// coordinator's hint (or 250ms).
+	Poll time.Duration
+	// Client is the HTTP client; nil means a 30s-timeout default.
+	Client *http.Client
+	// Logger receives structured worker logs; nil discards.
+	Logger *slog.Logger
+
+	// hookLeased, when non-nil, runs after a non-empty lease before
+	// execution — the test seam that simulates a worker dying while
+	// holding leases (it cancels the worker's context, so nothing
+	// completes and the leases expire).
+	hookLeased func(items []Item)
+
+	heartbeatEvery time.Duration
+}
+
+func (w *Worker) log() *slog.Logger {
+	if w.Logger == nil {
+		return slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return w.Logger
+}
+
+func (w *Worker) client() *http.Client {
+	if w.Client == nil {
+		return &http.Client{Timeout: 30 * time.Second}
+	}
+	return w.Client
+}
+
+// post sends one protocol call and decodes the response into out.
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.Coordinator+"/v1/cluster"+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return fmt.Errorf("cluster: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// register announces the worker and adopts the coordinator's pacing.
+func (w *Worker) register(ctx context.Context) error {
+	var resp registerResponse
+	if err := w.post(ctx, "/register", registerRequest{Worker: w.Name}, &resp); err != nil {
+		return err
+	}
+	if resp.HeartbeatMS > 0 {
+		w.heartbeatEvery = time.Duration(resp.HeartbeatMS) * time.Millisecond
+	} else {
+		w.heartbeatEvery = time.Second
+	}
+	return nil
+}
+
+// Run is the worker's main loop: lease, execute, complete, repeat, until
+// ctx is cancelled. Transient coordinator errors (it restarted, the
+// network blipped) are retried with a fixed pause — the protocol is
+// stateless enough that reconnecting is just carrying on.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Name == "" || w.Coordinator == "" || w.Engine == nil {
+		return errors.New("cluster: Worker needs Name, Coordinator and Engine")
+	}
+	batch := w.Batch
+	if batch <= 0 {
+		batch = 2
+	}
+	for {
+		if err := w.register(ctx); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.log().Warn("register failed, retrying", "err", err.Error())
+			if !sleepCtx(ctx, time.Second) {
+				return ctx.Err()
+			}
+			continue
+		}
+		break
+	}
+	w.log().Info("registered", "coordinator", w.Coordinator, "heartbeat", w.heartbeatEvery.String())
+
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var lease leaseResponse
+		if err := w.post(ctx, "/lease", leaseRequest{Worker: w.Name, Max: batch}, &lease); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.log().Warn("lease failed, retrying", "err", err.Error())
+			if !sleepCtx(ctx, time.Second) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if len(lease.Items) == 0 {
+			poll := w.Poll
+			if poll <= 0 {
+				poll = time.Duration(lease.PollMS) * time.Millisecond
+				if poll <= 0 {
+					poll = 250 * time.Millisecond
+				}
+			}
+			if !sleepCtx(ctx, poll) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if w.hookLeased != nil {
+			w.hookLeased(lease.Items)
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+		}
+		w.runBatch(ctx, lease.Items)
+	}
+}
+
+// runBatch executes one leased batch under a heartbeat.
+func (w *Worker) runBatch(ctx context.Context, items []Item) {
+	ids := make([]string, len(items))
+	for i, it := range items {
+		ids[i] = it.ID
+	}
+	hbCtx, stopHB := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		w.heartbeat(hbCtx, ids)
+	}()
+	defer func() {
+		stopHB()
+		<-hbDone
+	}()
+
+	for _, it := range items {
+		if ctx.Err() != nil {
+			return
+		}
+		result, err := executeItem(ctx, w.Engine, it)
+		if ctx.Err() != nil {
+			// Shutting down mid-item: do not report a spurious failure;
+			// the lease will expire and the item will be re-run.
+			return
+		}
+		req := completeRequest{Worker: w.Name, ID: it.ID, Result: result}
+		if err != nil {
+			req.Result = nil
+			req.Error = err.Error()
+		}
+		var resp completeResponse
+		if perr := w.post(ctx, "/complete", req, &resp); perr != nil {
+			w.log().Warn("complete failed", "item", it.ID, "err", perr.Error())
+			continue
+		}
+		w.log().Info("completed", "item", it.ID, "accepted", resp.Accepted, "failed", err != nil)
+	}
+}
+
+// heartbeat extends the batch's leases every heartbeatEvery until ctx is
+// cancelled.
+func (w *Worker) heartbeat(ctx context.Context, ids []string) {
+	period := w.heartbeatEvery
+	if period <= 0 {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			var resp heartbeatResponse
+			if err := w.post(ctx, "/heartbeat", heartbeatRequest{Worker: w.Name, IDs: ids}, &resp); err != nil {
+				if ctx.Err() == nil {
+					w.log().Warn("heartbeat failed", "err", err.Error())
+				}
+				continue
+			}
+			if len(resp.Lost) > 0 {
+				w.log().Warn("leases lost", "items", resp.Lost)
+			}
+		}
+	}
+}
+
+// sleepCtx sleeps d or until ctx is done; it reports whether the sleep
+// completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-time.After(d):
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -70,6 +70,14 @@ type Config struct {
 	RecoverCmd string
 }
 
+// Normalize fills defaulted fields (benchmark matrix, fault list, sweep
+// size, core count) exactly the way Run does. It is idempotent, and it is
+// what makes a campaign's identity transportable: the cluster layer
+// normalizes once on the coordinator and once per tuple on the workers,
+// and both sides end up with the same Info and config fingerprint a local
+// Run would produce.
+func (c *Config) Normalize() { c.fill() }
+
 func (c *Config) fill() {
 	if len(c.Benches) == 0 {
 		c.Benches = workload.Table2
@@ -227,6 +235,23 @@ func Run(ctx context.Context, c Config) (*Report, error) {
 	}
 	wg.Wait()
 
+	tuples := make([]*TupleReport, 0, len(slots))
+	for _, s := range slots {
+		if s.err != nil {
+			return nil, s.err
+		}
+		tuples = append(tuples, s.rep)
+	}
+	return AssembleReport(c, tuples), nil
+}
+
+// AssembleReport builds the campaign report from per-tuple reports listed
+// in c.Benches × c.Schemes matrix order. c must be normalized. It is the
+// single assembly path for local and distributed campaigns: Run uses it
+// after sweeping in-process, and the cluster coordinator uses it after
+// gathering TupleReports from workers — which is what makes the two
+// byte-identical.
+func AssembleReport(c Config, tuples []*TupleReport) *Report {
 	rep := &Report{
 		Campaign: Info{
 			Seed:              c.Seed,
@@ -239,24 +264,33 @@ func Run(ctx context.Context, c Config) (*Report, error) {
 	for _, f := range c.Faults {
 		rep.Campaign.Faults = append(rep.Campaign.Faults, f.String())
 	}
-	for _, s := range slots {
-		if s.err != nil {
-			return nil, s.err
-		}
-		rep.Tuples = append(rep.Tuples, *s.rep)
+	for _, tr := range tuples {
+		rep.Tuples = append(rep.Tuples, *tr)
 		rep.Totals.Tuples++
-		rep.Totals.Injections += len(s.rep.Injections)
-		rep.Totals.Verified += s.rep.Verified
-		rep.Totals.Detected += s.rep.Detected
-		rep.Totals.Vulnerable += s.rep.Vulnerable
-		rep.Totals.Failed += s.rep.Failed
-		for _, ir := range s.rep.Injections {
+		rep.Totals.Injections += len(tr.Injections)
+		rep.Totals.Verified += tr.Verified
+		rep.Totals.Detected += tr.Detected
+		rep.Totals.Vulnerable += tr.Vulnerable
+		rep.Totals.Failed += tr.Failed
+		for _, ir := range tr.Injections {
 			if ir.Minimized != nil {
 				rep.Totals.Minimized++
 			}
 		}
 	}
-	return rep, nil
+	return rep
+}
+
+// RunTuple sweeps one (bench, scheme) pair of the campaign and returns
+// its report — the unit of work a cluster worker executes. The config is
+// normalized here, so a worker can hand a deserialized single-tuple
+// Config straight in; Engine is required.
+func RunTuple(ctx context.Context, c Config, bench workload.Kind, scheme core.Scheme) (*TupleReport, error) {
+	c.fill()
+	if c.Engine == nil {
+		return nil, fmt.Errorf("crashcampaign: Config.Engine is required")
+	}
+	return runTuple(ctx, &c, bench, scheme)
 }
 
 // runTuple sweeps one (bench, scheme) pair.

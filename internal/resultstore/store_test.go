@@ -3,9 +3,11 @@ package resultstore
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/config"
@@ -162,6 +164,106 @@ func TestAtomicWriteLeavesNoTempFiles(t *testing.T) {
 	}
 	if len(ents) != 1 {
 		t.Fatalf("directory has %d entries, want 1", len(ents))
+	}
+}
+
+// TestConcurrentMultiProcessWriters models the cluster deployment: several
+// store handles on one shared directory (as separate worker processes
+// would have) racing to publish the same fingerprint while readers load it
+// concurrently. The atomic write-then-rename contract means a reader sees
+// either a miss or one complete, valid entry — never a torn document — and
+// the final state is a single winner.
+func TestConcurrentMultiProcessWriters(t *testing.T) {
+	dir := t.TempDir()
+	j := testJob()
+	key := j.Fingerprint()
+
+	const writers = 4
+	stores := make([]*Store, writers)
+	for i := range stores {
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = s
+	}
+
+	// Each writer publishes its own distinguishable (but valid) result, so
+	// a torn interleaving of two documents would fail to parse or carry an
+	// impossible cycle count.
+	results := make([]*engine.Result, writers)
+	for i := range results {
+		results[i] = testResult()
+		results[i].Report.Cycles = uint64(10000 + i)
+	}
+	valid := make(map[uint64]bool, writers)
+	for _, r := range results {
+		valid[r.Report.Cycles] = true
+	}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*20)
+	for i := 0; i < writers; i++ {
+		// Writer i hammers the shared key.
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			for n := 0; n < 10; n++ {
+				if err := stores[i].Store(key, j, results[i]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+		// Reader i loads through a different handle the whole time.
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			reader := stores[(i+1)%writers]
+			for n := 0; n < 50; n++ {
+				got, err := reader.Load(key)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != nil && !valid[got.Report.Cycles] {
+					errs <- fmt.Errorf("torn read: cycles %d is no writer's value", got.Report.Cycles)
+					return
+				}
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// One winner: a fresh handle sees exactly one complete entry whose
+	// payload is one of the racers', and nobody counted an I/O error or a
+	// corrupt-entry eviction.
+	fresh, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fresh.Load(key)
+	if err != nil || got == nil {
+		t.Fatalf("final Load = (%v, %v), want the winning entry", got, err)
+	}
+	if !valid[got.Report.Cycles] {
+		t.Fatalf("final entry cycles %d is no writer's value", got.Report.Cycles)
+	}
+	if n, err := fresh.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = (%d, %v), want exactly 1 entry", n, err)
+	}
+	for i, s := range stores {
+		if c := s.Counters(); c.Errors != 0 {
+			t.Errorf("store %d counted %d errors under concurrent writers", i, c.Errors)
+		}
 	}
 }
 

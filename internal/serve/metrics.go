@@ -6,7 +6,10 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
+
+	"repro/internal/cluster"
 )
 
 // serverMetrics holds the serving-layer counters exported at /metrics in
@@ -22,8 +25,39 @@ type serverMetrics struct {
 	jobsRejected  atomic.Uint64
 	queueDepth    atomic.Int64
 
+	// queuedByType breaks the admission-queue depth down per job kind
+	// ("sim", "figure", "campaign") — the autoscaling signal: a deep
+	// campaign backlog wants more cluster workers, a deep sim backlog
+	// wants more serve workers.
+	queuedMu     sync.Mutex
+	queuedByType map[string]int64
+
 	requestSeconds histogram
 	jobSeconds     histogram
+}
+
+// addQueuedByType adjusts the per-kind queue depth; it mirrors every
+// queueDepth transition (admit, dequeue-to-run, cancel-while-queued).
+func (m *serverMetrics) addQueuedByType(typ string, delta int64) {
+	m.queuedMu.Lock()
+	if m.queuedByType == nil {
+		m.queuedByType = make(map[string]int64)
+	}
+	m.queuedByType[typ] += delta
+	m.queuedMu.Unlock()
+}
+
+// queuedByTypeSnapshot returns the per-kind depths with stable key order.
+func (m *serverMetrics) queuedByTypeSnapshot() (types []string, depths map[string]int64) {
+	m.queuedMu.Lock()
+	depths = make(map[string]int64, len(m.queuedByType))
+	for k, v := range m.queuedByType {
+		depths[k] = v
+		types = append(types, k)
+	}
+	m.queuedMu.Unlock()
+	sort.Strings(types)
+	return types, depths
 }
 
 // histBuckets are the latency histogram upper bounds in seconds: tight
@@ -98,6 +132,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	mw.counter("proteus_serve_jobs_merged_total", s.metrics.jobsMerged.Load())
 	mw.counter("proteus_serve_jobs_rejected_total", s.metrics.jobsRejected.Load())
 	mw.gauge("proteus_serve_queue_depth", float64(s.metrics.queueDepth.Load()))
+	if types, depths := s.metrics.queuedByTypeSnapshot(); len(types) > 0 {
+		mw.typ("proteus_serve_queue_depth_by_type", "gauge")
+		for _, typ := range types {
+			fmt.Fprintf(mw, "proteus_serve_queue_depth_by_type{type=%q} %d\n", typ, depths[typ])
+		}
+	}
 	mw.gauge("proteus_serve_queue_capacity", float64(s.conf.QueueDepth))
 	draining := 0.0
 	if s.Draining() {
@@ -127,5 +167,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			ratio = float64(sc.Hits) / float64(tot)
 		}
 		mw.gauge("proteus_store_cache_hit_ratio", ratio)
+	}
+
+	// Cluster coordinator: queue states, failure/requeue counters and
+	// per-worker gauges (leased, completed, requeued, lease expiries).
+	if s.conf.Cluster != nil {
+		cs := s.conf.Cluster.Stats()
+		mw.gauge("proteus_cluster_items_pending", float64(cs.Pending))
+		mw.gauge("proteus_cluster_items_leased", float64(cs.Leased))
+		mw.gauge("proteus_cluster_items_done", float64(cs.Done))
+		mw.gauge("proteus_cluster_items_quarantined", float64(cs.Quarantined))
+		mw.gauge("proteus_cluster_workers", float64(len(cs.Workers)))
+		mw.counter("proteus_cluster_leases_granted_total", cs.LeasesGranted)
+		mw.counter("proteus_cluster_lease_expired_total", cs.LeaseExpired)
+		mw.counter("proteus_cluster_requeued_total", cs.Requeued)
+		mw.counter("proteus_cluster_completed_total", cs.Completed)
+		mw.counter("proteus_cluster_quarantined_total", cs.QuarantinedN)
+		mw.counter("proteus_cluster_stale_reports_total", cs.StaleReports)
+		for _, m := range []struct {
+			name string
+			get  func(w cluster.WorkerStats) uint64
+		}{
+			{"leased", func(w cluster.WorkerStats) uint64 { return uint64(w.Leased) }},
+			{"completed", func(w cluster.WorkerStats) uint64 { return w.Completed }},
+			{"requeued", func(w cluster.WorkerStats) uint64 { return w.Requeued }},
+			{"lease_expired", func(w cluster.WorkerStats) uint64 { return w.Expired }},
+		} {
+			mw.typ("proteus_cluster_worker_"+m.name, "gauge")
+			for _, w := range cs.Workers {
+				fmt.Fprintf(mw, "proteus_cluster_worker_%s{worker=%q} %d\n", m.name, w.Name, m.get(w))
+			}
+		}
 	}
 }

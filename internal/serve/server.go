@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/resultstore"
 )
@@ -68,6 +69,14 @@ type Config struct {
 	// RetryAfter is advertised in the Retry-After header of 429/503
 	// responses; <= 0 means 1s.
 	RetryAfter time.Duration
+	// Cluster, when non-nil, turns this server into the cluster
+	// coordinator: its work-pull protocol is mounted under /v1/cluster/,
+	// and "sim" and "campaign" submissions are scattered to pull-based
+	// workers instead of running on the local engine ("figure" suites
+	// stay local — their job matrices already dedup through the shared
+	// store). With no workers connected, cluster jobs wait in the
+	// coordinator's queue until one joins.
+	Cluster *cluster.Coordinator
 	// Logger receives structured request and task logs; nil discards.
 	Logger *slog.Logger
 }
@@ -177,8 +186,9 @@ func (s *Server) run(t *task) {
 	t.cancel = cancel
 	t.mu.Unlock()
 	s.metrics.queueDepth.Add(-1)
+	s.metrics.addQueuedByType(t.job.spec.Type, -1)
 
-	res, err := t.job.execute(ctx, s.conf.Engine)
+	res, err := t.job.execute(ctx, s.conf.Engine, s.conf.Cluster)
 
 	t.mu.Lock()
 	t.finished = time.Now()
@@ -257,6 +267,7 @@ func (s *Server) Submit(spec Spec) (*task, bool, error) {
 	s.tasks[t.id] = t
 	s.inflight[fp] = t
 	s.metrics.queueDepth.Add(1)
+	s.metrics.addQueuedByType(t.job.spec.Type, 1)
 	return t, false, nil
 }
 
@@ -277,6 +288,7 @@ func (s *Server) Cancel(id string) bool {
 		t.finished = time.Now()
 		s.metrics.jobsCancelled.Add(1)
 		s.metrics.queueDepth.Add(-1)
+		s.metrics.addQueuedByType(t.job.spec.Type, -1)
 		close(t.done)
 	case StateRunning:
 		if t.cancel != nil {
@@ -341,6 +353,7 @@ func (s *Server) Drain(ctx context.Context) error {
 				t.finished = time.Now()
 				s.metrics.jobsCancelled.Add(1)
 				s.metrics.queueDepth.Add(-1)
+				s.metrics.addQueuedByType(t.job.spec.Type, -1)
 				close(t.done)
 			}
 			t.mu.Unlock()
@@ -399,6 +412,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.conf.Cluster != nil {
+		mux.Handle("/v1/cluster/", http.StripPrefix("/v1/cluster", s.conf.Cluster.Handler()))
+	}
 	return s.withRequestLog(mux)
 }
 

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/resultstore"
 )
@@ -407,6 +408,10 @@ func TestMetricsEndpoint(t *testing.T) {
 		"proteus_store_writes_total 1",
 		"proteus_store_cache_hit_ratio",
 		"proteus_serve_draining 0",
+		// The per-kind queue depth appears once a kind has been queued,
+		// and drops back to zero when the job leaves the queue.
+		"# TYPE proteus_serve_queue_depth_by_type gauge",
+		`proteus_serve_queue_depth_by_type{type="sim"} 0`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q\n%s", want, body)
@@ -487,4 +492,58 @@ func fetchStatusCode(url string) (int, error) {
 	}
 	resp.Body.Close()
 	return resp.StatusCode, nil
+}
+
+// TestClusterSimThroughServe is the end-to-end coordinator path: a server
+// started with a cluster coordinator scatters a sim job to a pull-based
+// worker over the mounted /v1/cluster/ protocol, and the HTTP result is
+// byte-identical to a local in-process execution of the same spec.
+func TestClusterSimThroughServe(t *testing.T) {
+	co := cluster.NewCoordinator(cluster.Config{LeaseTTL: 5 * time.Second})
+	_, ts := newTestServer(t, Config{Cluster: co})
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	w := &cluster.Worker{
+		Name:        "w1",
+		Coordinator: ts.URL,
+		Engine:      engine.New(engine.Config{Workers: 1}),
+		Poll:        10 * time.Millisecond,
+	}
+	go func() { _ = w.Run(wctx) }()
+
+	code, st := submit(t, ts, tinySpec(3), "?wait=1")
+	if code != http.StatusOK || st.State != StateDone {
+		t.Fatalf("cluster-scattered sim: %d %+v", code, st)
+	}
+
+	// Local reference: same spec, private engine, no cluster.
+	j, err := compile(tinySpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := j.execute(context.Background(), engine.New(engine.Config{Workers: 1}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(st.Result, local) {
+		t.Errorf("cluster result differs from local execution:\ncluster: %s\nlocal: %s", st.Result, local)
+	}
+
+	// The coordinator section of /metrics reflects the completed item.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"proteus_cluster_completed_total 1",
+		"proteus_cluster_items_done 1",
+		`proteus_cluster_worker_completed{worker="w1"} 1`,
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/crashcampaign"
@@ -257,12 +258,22 @@ type FigureResult struct {
 	Text   string       `json:"text"`
 }
 
-// execute runs the compiled job on the engine and returns its canonical
-// result encoding.
-func (j *job) execute(ctx context.Context, eng *engine.Engine) (json.RawMessage, error) {
+// execute runs the compiled job and returns its canonical result
+// encoding. With a cluster coordinator attached, sim and campaign jobs
+// are scattered to pull-based workers; the encodings are identical either
+// way (the cluster returns the same Result/Report structs the local
+// engine produces), so clients cannot tell — and must not care — where a
+// job ran.
+func (j *job) execute(ctx context.Context, eng *engine.Engine, clu *cluster.Coordinator) (json.RawMessage, error) {
 	switch j.spec.Type {
 	case "sim":
-		res, err := eng.Run(ctx, j.simJob)
+		var res *engine.Result
+		var err error
+		if clu != nil {
+			res, err = cluster.RunSim(ctx, clu, j.simJob)
+		} else {
+			res, err = eng.Run(ctx, j.simJob)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -281,6 +292,13 @@ func (j *job) execute(ctx context.Context, eng *engine.Engine) (json.RawMessage,
 		return json.Marshal(FigureResult{Figure: j.figure, Table: tab, Text: tab.String()})
 	default:
 		c := j.campaign
+		if clu != nil {
+			rep, err := cluster.RunCampaign(ctx, clu, c)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(rep)
+		}
 		c.Engine = eng
 		rep, err := crashcampaign.Run(ctx, c)
 		if err != nil {

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Benchmark trajectory: run the repo's bench_test.go suite, snapshot it as
+# a BENCH_<n>.json at the repo root via cmd/benchjson, and gate against the
+# newest committed snapshot — any shared benchmark more than MAX_REGRESS
+# percent slower on ns/op or allocs/op fails the script.
+#
+# Usage:
+#   scripts/bench_report.sh                 # write BENCH_6.json, gate vs previous
+#   scripts/bench_report.sh /tmp/ci.json    # CI: throwaway snapshot, gate vs committed
+#
+# Environment:
+#   BENCH        benchmark regexp passed to -bench      (default: .)
+#   BENCHTIME    -benchtime value                       (default: 1x)
+#   MAX_REGRESS  tolerance percent for the gate         (default: 20)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_6.json}"
+BENCH="${BENCH:-.}"
+BENCHTIME="${BENCHTIME:-1x}"
+MAX_REGRESS="${MAX_REGRESS:-20}"
+
+say() { echo "bench_report: $*" >&2; }
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+say "running go test -bench '$BENCH' -benchtime $BENCHTIME"
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
+
+go run ./cmd/benchjson -emit "$OUT" <"$RAW"
+say "snapshot written to $OUT"
+
+# Gate against the newest committed snapshot other than the one we just
+# wrote. The first snapshot of a series has no baseline and passes.
+BASELINE=$(git ls-files 'BENCH_*.json' | sort -V | grep -vx "$(basename "$OUT")" | tail -1 || true)
+if [ -z "$BASELINE" ]; then
+    say "no committed baseline snapshot; skipping regression gate"
+    exit 0
+fi
+say "gating against $BASELINE (tolerance ${MAX_REGRESS}%)"
+go run ./cmd/benchjson -old "$BASELINE" -new "$OUT" -max-regress "$MAX_REGRESS"
+say "within tolerance — PASS"

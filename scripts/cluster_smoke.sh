@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the distributed simulation cluster, including
+# worker loss: start a coordinator (proteus-served -cluster) and two pull
+# workers, submit a crash-campaign sweep, SIGKILL one worker while it holds
+# leases, and assert that (a) the campaign still completes, (b) the
+# coordinator requeued the dead worker's leases (nonzero requeue counter,
+# nothing quarantined), and (c) the report is byte-identical to a clean
+# two-worker run of the same campaign. Binaries are built with -race.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${ADDR:-127.0.0.1:18090}"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+PIDS=()
+trap 'kill -9 "${PIDS[@]}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+# QE,SS x Proteus,ATOM = 4 tuples; a deep sweep keeps each tuple busy long
+# enough that the victim dies holding unfinished leases.
+SPEC='{"type":"campaign","benches":"QE,SS","schemes":"Proteus,ATOM","sweep":48,"faults":"torn"}'
+
+say() { echo "cluster_smoke: $*" >&2; }
+
+go build -race -o "$WORK/proteus-served" ./cmd/proteus-served
+go build -race -o "$WORK/proteus-worker" ./cmd/proteus-worker
+say "built proteus-served and proteus-worker (-race)"
+
+start_coordinator() { # $1 = store dir, $2 = log file
+    "$WORK/proteus-served" -addr "$ADDR" -cluster -lease-ttl 2s \
+        -store "$1" -workers 2 -drain-timeout 30s 2>"$2" &
+    COORD_PID=$!
+    PIDS+=("$COORD_PID")
+    for i in $(seq 1 50); do
+        curl -fsS "$BASE/healthz" >/dev/null 2>&1 && return 0
+        kill -0 "$COORD_PID" 2>/dev/null || { say "coordinator died:"; cat "$2" >&2; exit 1; }
+        sleep 0.2
+    done
+    say "coordinator never became healthy"; exit 1
+}
+
+start_worker() { # $1 = name, $2 = batch
+    "$WORK/proteus-worker" -coordinator "$BASE" -name "$1" -batch "$2" \
+        2>"$WORK/$1.log" &
+    PIDS+=("$!")
+    disown "$!" 2>/dev/null || true
+}
+
+submit() { curl -fsS -XPOST "$BASE/v1/jobs" -d "$SPEC" | jq -r .id; }
+
+wait_done() { # $1 = job id, $2 = output file for the result payload
+    for i in $(seq 1 600); do
+        STATUS=$(curl -fsS "$BASE/v1/jobs/$1")
+        case "$(echo "$STATUS" | jq -r .state)" in
+            done) echo "$STATUS" | jq -c .result >"$2"; return 0 ;;
+            failed|cancelled) say "job $1 failed: $STATUS"; exit 1 ;;
+        esac
+        sleep 0.5
+    done
+    say "job $1 never finished"; exit 1
+}
+
+cstat() { curl -fsS "$BASE/v1/cluster/stats" | jq "$1"; }
+
+# ---- Pass 1: two workers, one SIGKILLed while holding leases. ----------
+start_coordinator "$WORK/store1" "$WORK/coord1.log"
+say "coordinator up on $ADDR"
+
+start_worker victim 4
+VICTIM_PID="${PIDS[-1]}"
+JOB=$(submit)
+say "submitted campaign $JOB; waiting for the victim to lease work"
+
+LEASED=0
+for i in $(seq 1 100); do
+    LEASED=$(cstat '[.workers[]? | select(.name=="victim") | .leased] | add // 0')
+    [ "$LEASED" -gt 0 ] && break
+    sleep 0.1
+done
+[ "$LEASED" -gt 0 ] || { say "victim never leased anything"; exit 1; }
+
+kill -9 "$VICTIM_PID"
+say "victim SIGKILLed holding $LEASED lease(s); starting survivors"
+start_worker w1 2
+start_worker w2 2
+
+wait_done "$JOB" "$WORK/report_loss.json"
+say "campaign completed despite worker loss"
+
+REQUEUED=$(cstat .requeued)
+QUARANTINED=$(cstat .quarantined_total)
+[ "$REQUEUED" -gt 0 ] || { say "requeue counter is 0 — loss path never ran"; exit 1; }
+[ "$QUARANTINED" = 0 ] || { say "$QUARANTINED item(s) quarantined"; exit 1; }
+say "coordinator requeued $REQUEUED lease(s), quarantined none"
+
+kill -TERM "$COORD_PID"; wait "$COORD_PID" || true
+
+# ---- Pass 2: clean two-worker run of the same campaign. ----------------
+start_coordinator "$WORK/store2" "$WORK/coord2.log"
+start_worker c1 2
+start_worker c2 2
+JOB=$(submit)
+wait_done "$JOB" "$WORK/report_clean.json"
+say "clean run completed"
+
+# ---- Determinism: loss run and clean run agree byte for byte. ----------
+if ! cmp -s "$WORK/report_loss.json" "$WORK/report_clean.json"; then
+    say "reports differ between the loss run and the clean run:"
+    diff <(jq . "$WORK/report_loss.json") <(jq . "$WORK/report_clean.json") | head -40 >&2
+    exit 1
+fi
+say "reports byte-identical across worker loss — PASS"
