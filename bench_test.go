@@ -19,6 +19,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/isa"
+	"repro/internal/logging"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -336,6 +337,65 @@ func BenchmarkStepTraced(b *testing.B) {
 	b.StopTimer()
 	if err := tr.Close(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// steadySystem builds a Proteus machine running a real Table-2 queue
+// workload and steps it past warm-up, so every ring, pool, queue and
+// stats buffer has hit its high-water mark before measurement begins.
+func steadySystem(tb testing.TB) *core.System {
+	tb.Helper()
+	p := workload.Queue.DefaultParams(1)
+	p.InitOps /= 8 // keep the build cheap; SimOps full-length so the run outlasts the bench
+	w, err := workload.Build(workload.Queue, p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := config.Default()
+	cfg.Cores = p.Threads
+	traces, err := logging.Generate(w, core.Proteus, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sys, err := core.NewSystem(cfg, core.Proteus, traces, w.InitImage)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sys.Step(10_000)
+	if sys.Finished() {
+		tb.Fatal("workload finished during warm-up; steady state never reached")
+	}
+	return sys
+}
+
+// TestStepSteadyStateAllocFree asserts the hot loop's headline property:
+// once warm, advancing the machine — cores, caches, memory controller,
+// NVM timing, logging — performs zero heap allocations per Step.
+func TestStepSteadyStateAllocFree(t *testing.T) {
+	sys := steadySystem(t)
+	if allocs := testing.AllocsPerRun(20, func() { sys.Step(2_000) }); allocs != 0 {
+		t.Fatalf("steady-state Step allocates %.1f times per 2k cycles, want 0", allocs)
+	}
+	if sys.Finished() {
+		t.Fatal("workload finished during measurement; shorten the measured spans")
+	}
+}
+
+// BenchmarkStepSteadyState measures the per-cycle cost of the full
+// machine under a real logging workload (queue benchmark, Proteus
+// scheme), mid-run. Compare against BenchmarkStepNilTracer, which bounds
+// the same loop from below with pure ALU work.
+func BenchmarkStepSteadyState(b *testing.B) {
+	sys := steadySystem(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sys.Finished() {
+			b.StopTimer()
+			sys = steadySystem(b)
+			b.StartTimer()
+		}
+		sys.Step(2_000)
 	}
 }
 

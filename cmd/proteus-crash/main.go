@@ -51,6 +51,7 @@ func main() {
 		wseed      = flag.Int64("wseed", 11, "workload seed")
 		seed       = flag.Int64("seed", 1, "campaign seed: crash-point choice and per-line fault randomness")
 		storeDir   = flag.String("store", "", "persistent result store directory for the underlying simulations")
+		stepperSel = flag.String("stepper", "fast", "cycle-advance strategy: fast (event-driven fast-forward) or reference (per-cycle)")
 		verbose    = flag.Bool("v", false, "log engine job activity to stderr")
 	)
 	flag.Parse()
@@ -73,7 +74,10 @@ func main() {
 		exitOn(fmt.Errorf("unknown -minimize mode %q (failed, all, off)", *minimize))
 	}
 
-	engCfg := engine.Config{Workers: *jobs, JobTimeout: *jobTimeout}
+	stepper, err := core.StepperByName(*stepperSel)
+	exitOn(err)
+
+	engCfg := engine.Config{Workers: *jobs, JobTimeout: *jobTimeout, Stepper: stepper}
 	if *storeDir != "" {
 		st, err := resultstore.Open(*storeDir)
 		exitOn(err)
@@ -93,6 +97,7 @@ func main() {
 		Params: workload.Params{Threads: *threads, InitOps: *initOps, SimOps: *simOps, Seed: *wseed,
 			SSItems: 256, SSStrSize: 256, ListNodes: 4, ListElems: 64},
 		Sim:         config.Default(),
+		Stepper:     stepper,
 		Sweep:       *sweep,
 		Rand:        *randPts,
 		Faults:      faults,

@@ -210,6 +210,23 @@ func TestClusterDeterministicAcrossWorkerCountAndLoss(t *testing.T) {
 	if !bytes.Equal(one, local.Bytes()) {
 		t.Errorf("cluster report differs from local crashcampaign.Run:\ncluster: %s\nlocal: %s", one, local.Bytes())
 	}
+
+	// The cluster scenarios all ran the default fast-forward stepper; a
+	// local per-cycle reference run must land on the same report bytes.
+	cRef := testCampaign()
+	cRef.Stepper = core.StepperReference
+	cRef.Engine = engine.New(engine.Config{Stepper: core.StepperReference})
+	repRef, err := crashcampaign.Run(context.Background(), cRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var localRef bytes.Buffer
+	if err := repRef.WriteJSON(&localRef); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one, localRef.Bytes()) {
+		t.Errorf("cluster report differs from reference-stepper crashcampaign.Run:\ncluster: %s\nreference: %s", one, localRef.Bytes())
+	}
 }
 
 // TestQuarantinePoisonedItem: an item that fails every attempt must burn

@@ -100,6 +100,43 @@ func (s Scheme) ADR() bool { return s != PMEMPcommit }
 // across power failures. PMEM+nolog is the ideal case and is not safe.
 func (s Scheme) FailureSafe() bool { return s != PMEMNoLog }
 
+// Stepper selects the Step implementation.
+type Stepper int
+
+const (
+	// StepperFast is the event-driven fast-forward stepper (the default):
+	// when no component can change state, it computes the next event cycle,
+	// measures one inert cycle, and advances the remaining span in closed
+	// form. It is cross-checked against StepperReference for byte-identical
+	// output by the equivalence tests and fuzz target.
+	StepperFast Stepper = iota
+	// StepperReference is the naive cycle-at-a-time stepper, retained as
+	// the correctness oracle and for bisection via -stepper=reference.
+	StepperReference
+)
+
+func (st Stepper) String() string {
+	switch st {
+	case StepperFast:
+		return "fast"
+	case StepperReference:
+		return "reference"
+	}
+	return fmt.Sprintf("Stepper(%d)", int(st))
+}
+
+// StepperByName resolves a stepper by name ("fast" or "reference"); the
+// shared parser for CLI flags and job specs.
+func StepperByName(name string) (Stepper, error) {
+	switch strings.ToLower(name) {
+	case "", "fast":
+		return StepperFast, nil
+	case "reference", "ref":
+		return StepperReference, nil
+	}
+	return 0, fmt.Errorf("core: unknown stepper %q (want fast or reference)", name)
+}
+
 // System is one assembled machine executing a fixed set of traces.
 type System struct {
 	cfg    config.Config
@@ -117,6 +154,14 @@ type System struct {
 	cycle       uint64
 	drainCycles uint64
 	finished    bool
+
+	// Fast-forward state: the stepper choice, the progress signature of
+	// the previous cycle, and reusable counter snapshots for the measured
+	// inert cycle.
+	stepper  Stepper
+	lastSig  uint64
+	statSnap []stats.Core
+	memSnap  stats.Mem
 
 	// Epoch-sampled tracing (nil = disabled; the only hot-path cost of
 	// the disabled state is the nil check in Step).
@@ -138,13 +183,17 @@ func NewSystem(cfg config.Config, scheme Scheme, traces []*isa.Trace, initImage 
 	}
 	store := nvm.NewStore()
 	if initImage != nil {
-		store = initImage.Snapshot()
+		// Copy-on-write: the init image is typically shared by thousands of
+		// simulations per campaign; forking replaces the dominant allocation
+		// cost of building a System.
+		store = initImage.Fork()
 	}
 	s := &System{
 		cfg:       cfg,
 		scheme:    scheme,
 		store:     store,
 		coreStats: make([]stats.Core, cfg.Cores),
+		statSnap:  make([]stats.Core, cfg.Cores),
 	}
 	s.dev = nvm.NewDevice(cfg.Mem, &s.memStat)
 	s.mc = memctrl.New(cfg.Mem, s.dev, store, &s.memStat)
@@ -162,6 +211,13 @@ func NewSystem(cfg config.Config, scheme Scheme, traces []*isa.Trace, initImage 
 
 // Device exposes the memory device (endurance accounting).
 func (s *System) Device() *nvm.Device { return s.dev }
+
+// Store exposes the functional memory contents (benchmarks and tests).
+func (s *System) Store() *nvm.Store { return s.store }
+
+// SetStepper selects the Step implementation; call it before the run
+// starts. The default is StepperFast.
+func (s *System) SetStepper(st Stepper) { s.stepper = st }
 
 // Cycle returns the current simulation cycle.
 func (s *System) Cycle() uint64 { return s.cycle }
@@ -220,24 +276,136 @@ func (s *System) emitSample(cycle uint64, final bool) {
 }
 
 // Step advances the machine by up to n cycles, stopping early when all
-// cores finish. It returns the number of cycles actually simulated.
+// cores finish. It returns the number of cycles actually advanced,
+// including fast-forwarded spans.
 func (s *System) Step(n uint64) uint64 {
+	if s.stepper == StepperReference {
+		return s.stepReference(n)
+	}
+	return s.stepFast(n)
+}
+
+// tick1 simulates exactly one cycle: memory controller, then cores, then
+// the epoch sample. Both steppers use it, so modeled behavior cannot
+// diverge at the single-cycle level.
+func (s *System) tick1(cycle uint64) {
+	s.mc.Tick(cycle)
+	fin := true
+	for _, c := range s.cores {
+		c.Tick(cycle)
+		fin = fin && c.Done()
+	}
+	s.finished = fin
+	if s.tracer != nil && cycle >= s.traceNext {
+		s.traceNext = cycle + s.tracer.Epoch()
+		s.emitSample(cycle, false)
+	}
+}
+
+// stepReference is the retained naive stepper: every cycle is simulated.
+func (s *System) stepReference(n uint64) uint64 {
 	var done uint64
 	for ; done < n && !s.finished; done++ {
 		s.cycle++
-		s.mc.Tick(s.cycle)
-		fin := true
-		for _, c := range s.cores {
-			c.Tick(s.cycle)
-			fin = fin && c.Done()
+		s.tick1(s.cycle)
+	}
+	return done
+}
+
+// stepFast ticks cycle by cycle while components make progress, and
+// fast-forwards over provably inert spans. After a tick whose progress
+// signature matches the previous cycle's, it asks every component for the
+// next cycle at which it can change state (NextEvent). If that is more
+// than one cycle away, the span in between is inert: the machine state is
+// identical at every cycle in it, so per-cycle counter deltas (wait and
+// stall counters) are constant. One cycle of the span is simulated for
+// real to measure that delta, and the rest is applied in closed form.
+//
+// Two clamps keep the fast path byte-compatible with the reference: the
+// wake never crosses the next trace epoch (samples are always emitted by
+// a genuinely simulated cycle), and never exceeds the Step budget (so
+// callers that single-step to an exact cycle, like the crash campaign,
+// land exactly there).
+func (s *System) stepFast(n uint64) uint64 {
+	var done uint64
+	for done < n && !s.finished {
+		s.cycle++
+		done++
+		s.tick1(s.cycle)
+		if s.finished || done >= n {
+			break
 		}
-		s.finished = fin
-		if s.tracer != nil && s.cycle >= s.traceNext {
-			s.traceNext = s.cycle + s.tracer.Epoch()
-			s.emitSample(s.cycle, false)
+		busy := false
+		for _, c := range s.cores {
+			if c.BusyHint() {
+				busy = true
+				break
+			}
+		}
+		if busy {
+			s.lastSig = 0
+			continue
+		}
+		sig := uint64(1)
+		for _, c := range s.cores {
+			sig = sig*0x100000001B3 + c.ProgressSig()
+		}
+		if sig != s.lastSig {
+			s.lastSig = sig
+			continue
+		}
+		wake := s.nextEvent()
+		if wake == 0 {
+			continue
+		}
+		if s.tracer != nil && wake > s.traceNext {
+			wake = s.traceNext
+		}
+		last := wake - 1 // the last provably inert cycle
+		if maxLast := s.cycle + (n - done); maxLast < last {
+			last = maxLast
+		}
+		span := last - s.cycle
+		if span == 0 {
+			continue
+		}
+		// Measure one inert cycle, then extrapolate the remaining span-1.
+		copy(s.statSnap, s.coreStats)
+		s.memSnap = s.memStat
+		s.cycle++
+		done++
+		s.tick1(s.cycle)
+		if k := span - 1; k > 0 {
+			for i := range s.coreStats {
+				s.coreStats[i].AddScaledDiff(&s.statSnap[i], k)
+			}
+			s.memStat.AddScaledDiff(&s.memSnap, k)
+			s.cycle += k
+			done += k
 		}
 	}
 	return done
+}
+
+// nextEvent returns the earliest cycle (strictly after s.cycle) at which
+// any component can change state, 0 if some component is active now, and
+// ^uint64(0) if nothing is pending anywhere (a stall that only the Step
+// budget bounds, exactly like the reference stepper spinning).
+func (s *System) nextEvent() uint64 {
+	wake := s.mc.NextEvent(s.cycle)
+	if wake == 0 {
+		return 0
+	}
+	for _, c := range s.cores {
+		w := c.NextEvent(s.cycle)
+		if w == 0 {
+			return 0
+		}
+		if w < wake {
+			wake = w
+		}
+	}
+	return wake
 }
 
 // Run simulates to completion (bounded by maxCycles; 0 means a generous

@@ -11,10 +11,11 @@ import (
 // triggering store enters the ROB, with store-to-load forwarding from
 // older in-flight stores.
 func (c *Core) atomMaybeLog(now uint64, t *txState, line uint64, tx uint32) {
-	if _, ok := t.atomLogged[line]; ok {
+	if _, ok := t.atomLogged.get(line); ok {
 		return
 	}
-	req := &atomReq{line: line, tx: tx}
+	req := c.newAtomReq()
+	req.tx = tx
 	c.forwardedPeek(line, isa.LineSize, req.data[:])
 	req.metaAddr = c.atomCursor
 	c.atomCursor += logfmt.PairEntrySize
@@ -25,7 +26,7 @@ func (c *Core) atomMaybeLog(now uint64, t *txState, line uint64, tx uint32) {
 		From: line, Tx: uint64(tx), Len: isa.LineSize,
 		DataCRC: logfmt.PairDataCRC(req.data[:]),
 	})
-	t.atomLogged[line] = len(t.atomReqs)
+	t.atomLogged.put(line, len(t.atomReqs))
 	t.atomReqs = append(t.atomReqs, req)
 	t.atomEntries = append(t.atomEntries, req.metaAddr)
 	c.atomQ = append(c.atomQ, req)
@@ -43,7 +44,7 @@ func (c *Core) atomAcked(tx uint32, line uint64, now uint64) bool {
 	if t == nil {
 		return true
 	}
-	idx, ok := t.atomLogged[line]
+	idx, ok := t.atomLogged.get(line)
 	if !ok {
 		return true
 	}
@@ -57,10 +58,15 @@ func (c *Core) atomAcked(tx uint32, line uint64, now uint64) bool {
 // MC, before it is durable in NVM). Stores still cannot retire before
 // their line's ack — the coupling the Proteus LogQ removes (§6).
 func (c *Core) tickAtomQ(now uint64) {
+	if len(c.atomQ) == 0 {
+		return
+	}
 	// Retire acknowledged heads.
 	for len(c.atomQ) > 0 && c.atomQ[0].sent && c.atomQ[0].ackAt <= now {
 		c.atomQ[0].acked = true
-		c.atomQ = c.atomQ[1:]
+		copy(c.atomQ, c.atomQ[1:])
+		c.atomQ[len(c.atomQ)-1] = nil
+		c.atomQ = c.atomQ[:len(c.atomQ)-1]
 	}
 	inFlight := 0
 	limit := c.cfg.ATOM.InFlight

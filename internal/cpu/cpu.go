@@ -59,7 +59,6 @@ type robEntry struct {
 	lr       int    // Proteus: log register index, -1 otherwise
 	lqe      int    // Proteus: LogQ entry index, -1 otherwise
 	lqSeq    uint64 // sequence number guarding LogQ slot reuse
-	dispatch uint64
 }
 
 type sbKind uint8
@@ -104,7 +103,6 @@ type lqEntry struct {
 
 // atomReq is one serialized ATOM log-creation request.
 type atomReq struct {
-	line     uint64
 	tx       uint32
 	metaAddr uint64
 	meta     [isa.LineSize]byte
@@ -120,13 +118,13 @@ type atomReq struct {
 // transaction is still completing) and destroyed when tx-end retires.
 type txState struct {
 	tx        uint32
-	dirty     map[uint64]struct{}
+	dirty     u64set // lines already recorded in dirtyList
 	dirtyList []uint64
 	// Proteus.
 	logCount  int
 	lastLogTo uint64
 	// ATOM.
-	atomLogged  map[uint64]int // line -> index into atomReqs
+	atomLogged  u64kv // line -> index into atomReqs
 	atomReqs    []*atomReq
 	atomEntries []uint64 // metadata-line addresses for truncation
 }
@@ -149,11 +147,15 @@ type Core struct {
 	rob      []robEntry
 	robHead  int
 	robCount int
+	unissued int // ROB entries awaiting a hierarchy slot (issuePending gate)
 
 	loads  int // LoadQ occupancy
 	stores int // StoreQ occupancy (ROB stores + store buffer)
 
-	sb          []sbEntry
+	// Store buffer as a fixed-capacity ring (StoreBuf entries).
+	sbq         []sbEntry
+	sbHead      int
+	sbCount     int
 	sbBusyUntil uint64
 	persistAcks []uint64
 
@@ -172,6 +174,7 @@ type Core struct {
 	// the one the front end dispatches for; the first is the one
 	// retirement completes.
 	txs     []*txState
+	txPool  []*txState // retired txStates kept for reuse
 	curTx   uint32
 	Commits []Commit
 
@@ -179,6 +182,7 @@ type Core struct {
 	lr       []lrSlot
 	lrFIFO   []int // dispatched log-loads awaiting their log-flush
 	logQ     []lqEntry
+	lqCount  int // valid LogQ entries
 	lqSeq    uint64
 	llt      *llt
 	logStart uint64
@@ -187,6 +191,7 @@ type Core struct {
 
 	// ATOM state.
 	atomQ      []*atomReq // serialized in-flight log-creation requests
+	reqPool    []*atomReq // completed requests kept for reuse
 	atomCursor uint64
 
 	// tx-end state machine.
@@ -207,19 +212,105 @@ type Core struct {
 // modes.
 func New(id int, cfg config.Config, mode Mode, lwr bool, hier *cache.Hierarchy, mc *memctrl.Controller, trace []isa.Op, st *stats.Core) *Core {
 	logStart, logEnd := isa.LogWindow(id)
+	nTx := 0
+	for i := range trace {
+		if trace[i].Kind == isa.TxEnd {
+			nTx++
+		}
+	}
 	return &Core{
 		id: id, cfg: cfg, mode: mode, lwr: lwr,
 		hier: hier, mc: mc, st: st, trace: trace,
-		rob:        make([]robEntry, cfg.Core.ROB),
-		mcTrip:     uint64(cfg.L3.Latency + cfg.Mem.L3ToMC),
-		lr:         make([]lrSlot, cfg.Proteus.LogRegs),
-		logQ:       make([]lqEntry, cfg.Proteus.LogQ),
-		llt:        newLLT(cfg.Proteus.LLTSize, cfg.Proteus.LLTWays),
-		logStart:   logStart,
-		logEnd:     logEnd,
-		curlog:     logStart,
-		atomCursor: logStart,
+		rob:         make([]robEntry, cfg.Core.ROB),
+		sbq:         make([]sbEntry, cfg.Core.StoreBuf),
+		persistAcks: make([]uint64, 0, 64),
+		mcTrip:      uint64(cfg.L3.Latency + cfg.Mem.L3ToMC),
+		txs:         make([]*txState, 0, 8),
+		Commits:     make([]Commit, 0, nTx),
+		lr:          make([]lrSlot, cfg.Proteus.LogRegs),
+		lrFIFO:      make([]int, 0, cfg.Proteus.LogRegs),
+		logQ:        make([]lqEntry, cfg.Proteus.LogQ),
+		llt:         newLLT(cfg.Proteus.LLTSize, cfg.Proteus.LLTWays),
+		logStart:    logStart,
+		logEnd:      logEnd,
+		curlog:      logStart,
+		atomQ:       make([]*atomReq, 0, 32),
+		atomCursor:  logStart,
 	}
+}
+
+// ------------------------------------------------------- reusable storage
+
+// sbAt returns the i-th store-buffer entry from the head.
+func (c *Core) sbAt(i int) *sbEntry {
+	idx := c.sbHead + i
+	if idx >= len(c.sbq) {
+		idx -= len(c.sbq)
+	}
+	return &c.sbq[idx]
+}
+
+func (c *Core) sbPush(e sbEntry) {
+	idx := c.sbHead + c.sbCount
+	if idx >= len(c.sbq) {
+		idx -= len(c.sbq)
+	}
+	c.sbq[idx] = e
+	c.sbCount++
+}
+
+func (c *Core) sbPop() {
+	c.sbHead++
+	if c.sbHead == len(c.sbq) {
+		c.sbHead = 0
+	}
+	c.sbCount--
+}
+
+// newTxState returns a cleared per-transaction record, reusing storage
+// from completed transactions so steady-state stepping does not allocate.
+func (c *Core) newTxState(tx uint32) *txState {
+	var t *txState
+	if n := len(c.txPool); n > 0 {
+		t = c.txPool[n-1]
+		c.txPool = c.txPool[:n-1]
+	} else {
+		t = &txState{}
+	}
+	t.tx = tx
+	return t
+}
+
+// popTx retires the oldest transaction and recycles its storage. Its
+// atomReqs are guaranteed out of atomQ: every transactional store retired
+// before tx-end, and store retirement requires the popped-and-acked state.
+func (c *Core) popTx() {
+	t := c.txs[0]
+	copy(c.txs, c.txs[1:])
+	c.txs[len(c.txs)-1] = nil
+	c.txs = c.txs[:len(c.txs)-1]
+	for _, r := range t.atomReqs {
+		*r = atomReq{}
+		c.reqPool = append(c.reqPool, r)
+	}
+	t.dirty.reset()
+	t.dirtyList = t.dirtyList[:0]
+	t.atomLogged.reset()
+	t.atomReqs = t.atomReqs[:0]
+	t.atomEntries = t.atomEntries[:0]
+	t.logCount = 0
+	t.lastLogTo = 0
+	t.tx = 0
+	c.txPool = append(c.txPool, t)
+}
+
+func (c *Core) newAtomReq() *atomReq {
+	if n := len(c.reqPool); n > 0 {
+		r := c.reqPool[n-1]
+		c.reqPool = c.reqPool[:n-1]
+		return r
+	}
+	return &atomReq{}
 }
 
 // Done reports whether the core has drained its trace and all buffers.
@@ -231,19 +322,11 @@ func (c *Core) DoneCycle() uint64 { return c.doneCycle }
 // Occupancy returns the instantaneous ROB, load-queue, store-queue and
 // store-buffer occupancy — the per-epoch snapshot the trace layer samples.
 func (c *Core) Occupancy() (rob, loadQ, storeQ, storeBuf int) {
-	return c.robCount, c.loads, c.stores, len(c.sb)
+	return c.robCount, c.loads, c.stores, c.sbCount
 }
 
 // LogQDepth returns the number of in-flight LogQ entries (Proteus).
-func (c *Core) LogQDepth() int {
-	n := 0
-	for i := range c.logQ {
-		if c.logQ[i].valid {
-			n++
-		}
-	}
-	return n
-}
+func (c *Core) LogQDepth() int { return c.lqCount }
 
 // FreeLogRegs returns the number of free Proteus log registers.
 func (c *Core) FreeLogRegs() int {
@@ -299,7 +382,7 @@ func (c *Core) Tick(now uint64) {
 	c.drainStoreBuffer(now)
 	c.dispatch(now)
 
-	if c.pc >= len(c.trace) && c.robCount == 0 && len(c.sb) == 0 &&
+	if c.pc >= len(c.trace) && c.robCount == 0 && c.sbCount == 0 &&
 		c.logQEmpty() && len(c.atomQ) == 0 {
 		c.finished = true
 		c.doneCycle = now
@@ -309,14 +392,7 @@ func (c *Core) Tick(now uint64) {
 	}
 }
 
-func (c *Core) logQEmpty() bool {
-	for i := range c.logQ {
-		if c.logQ[i].valid {
-			return false
-		}
-	}
-	return true
-}
+func (c *Core) logQEmpty() bool { return c.lqCount == 0 }
 
 // logQEmptyFor reports whether no LogQ entry of tx remains in flight.
 func (c *Core) logQEmptyFor(tx uint32) bool {
@@ -330,18 +406,28 @@ func (c *Core) logQEmptyFor(tx uint32) bool {
 
 // robAt returns the i-th entry from the head.
 func (c *Core) robAt(i int) *robEntry {
-	return &c.rob[(c.robHead+i)%len(c.rob)]
+	idx := c.robHead + i
+	if idx >= len(c.rob) {
+		idx -= len(c.rob)
+	}
+	return &c.rob[idx]
 }
 
 func (c *Core) robPush(e robEntry) *robEntry {
-	idx := (c.robHead + c.robCount) % len(c.rob)
+	idx := c.robHead + c.robCount
+	if idx >= len(c.rob) {
+		idx -= len(c.rob)
+	}
 	c.rob[idx] = e
 	c.robCount++
 	return &c.rob[idx]
 }
 
 func (c *Core) robPop() {
-	c.robHead = (c.robHead + 1) % len(c.rob)
+	c.robHead++
+	if c.robHead == len(c.rob) {
+		c.robHead = 0
+	}
 	c.robCount--
 }
 
@@ -358,8 +444,8 @@ func (c *Core) forwardedPeek(addr uint64, size int, buf []byte) {
 			buf[a-addr] = byte(val >> (8 * (a - sAddr)))
 		}
 	}
-	for _, e := range c.sb {
-		if e.kind == sbStore {
+	for i := 0; i < c.sbCount; i++ {
+		if e := c.sbAt(i); e.kind == sbStore {
 			apply(e.addr, e.size, e.val)
 		}
 	}
@@ -423,7 +509,7 @@ func (c *Core) dispatch(now uint64) {
 			if c.aluLeft > 0 {
 				return // ran out of slots mid-op
 			}
-			c.robPush(robEntry{op: op, issued: true, doneAt: now + 1, lr: -1, lqe: -1, dispatch: now})
+			c.robPush(robEntry{op: op, issued: true, doneAt: now + 1, lr: -1, lqe: -1})
 			c.pc++
 			continue
 
@@ -432,9 +518,12 @@ func (c *Core) dispatch(now uint64) {
 				c.stall(stats.StallLoadQ)
 				return
 			}
-			e := c.robPush(robEntry{op: op, lr: -1, lqe: -1, dispatch: now})
+			e := c.robPush(robEntry{op: op, lr: -1, lqe: -1})
 			c.loads++
 			c.issueLoad(now, e)
+			if !e.issued {
+				c.unissued++
+			}
 
 		case isa.LogLoad:
 			if c.loads >= c.cfg.Core.LoadQ {
@@ -443,9 +532,12 @@ func (c *Core) dispatch(now uint64) {
 			}
 			if c.mode != ModeProteus {
 				// Treated as a plain load outside Proteus mode.
-				e := c.robPush(robEntry{op: op, lr: -1, lqe: -1, dispatch: now})
+				e := c.robPush(robEntry{op: op, lr: -1, lqe: -1})
 				c.loads++
 				c.issueLoad(now, e)
+				if !e.issued {
+					c.unissued++
+				}
 				break
 			}
 			lri := c.freeLR()
@@ -463,8 +555,7 @@ func (c *Core) dispatch(now uint64) {
 			if op.Kind == isa.St && op.Tx != 0 && isa.IsPersistentAddr(op.Addr) {
 				if t := c.dtx(); t != nil {
 					line := isa.LineAddr(op.Addr)
-					if _, seen := t.dirty[line]; !seen {
-						t.dirty[line] = struct{}{}
+					if t.dirty.add(line) {
 						t.dirtyList = append(t.dirtyList, line)
 					}
 					if c.mode == ModeATOM {
@@ -472,7 +563,7 @@ func (c *Core) dispatch(now uint64) {
 					}
 				}
 			}
-			c.robPush(robEntry{op: op, issued: true, doneAt: now + 1, lr: -1, lqe: -1, dispatch: now})
+			c.robPush(robEntry{op: op, issued: true, doneAt: now + 1, lr: -1, lqe: -1})
 			c.stores++
 
 		case isa.Clwb:
@@ -480,13 +571,13 @@ func (c *Core) dispatch(now uint64) {
 				c.stall(stats.StallStoreQ)
 				return
 			}
-			c.robPush(robEntry{op: op, issued: true, doneAt: now + 1, lr: -1, lqe: -1, dispatch: now})
+			c.robPush(robEntry{op: op, issued: true, doneAt: now + 1, lr: -1, lqe: -1})
 			c.stores++
 
 		case isa.LogFlush:
 			if c.mode != ModeProteus {
 				// No-op outside Proteus mode (should not be generated).
-				c.robPush(robEntry{op: op, issued: true, doneAt: now + 1, lr: -1, lqe: -1, dispatch: now})
+				c.robPush(robEntry{op: op, issued: true, doneAt: now + 1, lr: -1, lqe: -1})
 				break
 			}
 			if !c.dispatchLogFlush(now, op) {
@@ -494,12 +585,8 @@ func (c *Core) dispatch(now uint64) {
 			}
 
 		case isa.TxBegin:
-			c.txs = append(c.txs, &txState{
-				tx:         op.Tx,
-				dirty:      make(map[uint64]struct{}),
-				atomLogged: make(map[uint64]int),
-			})
-			c.robPush(robEntry{op: op, issued: true, doneAt: now + 1, lr: -1, lqe: -1, dispatch: now})
+			c.txs = append(c.txs, c.newTxState(op.Tx))
+			c.robPush(robEntry{op: op, issued: true, doneAt: now + 1, lr: -1, lqe: -1})
 
 		case isa.TxEnd:
 			// Clear the LLT in dispatch (program) order so the next
@@ -507,11 +594,11 @@ func (c *Core) dispatch(now uint64) {
 			if c.mode == ModeProteus {
 				c.llt.Clear()
 			}
-			c.robPush(robEntry{op: op, issued: true, doneAt: now + 1, lr: -1, lqe: -1, dispatch: now})
+			c.robPush(robEntry{op: op, issued: true, doneAt: now + 1, lr: -1, lqe: -1})
 
 		default:
 			// Sfence, Pcommit, LogSave, Nop.
-			c.robPush(robEntry{op: op, issued: true, doneAt: now + 1, lr: -1, lqe: -1, dispatch: now})
+			c.robPush(robEntry{op: op, issued: true, doneAt: now + 1, lr: -1, lqe: -1})
 		}
 		c.pc++
 		slots--
@@ -551,13 +638,20 @@ func (c *Core) issueLoad(now uint64, e *robEntry) {
 }
 
 // issuePending retries memory operations that were refused by the
-// hierarchy (memory-controller queue backpressure).
+// hierarchy (memory-controller queue backpressure). The unissued counter
+// makes the common case — nothing to retry — a single compare instead of
+// a full ROB scan every cycle.
 func (c *Core) issuePending(now uint64) {
-	for i := 0; i < c.robCount; i++ {
+	if c.unissued == 0 {
+		return
+	}
+	left := c.unissued
+	for i := 0; i < c.robCount && left > 0; i++ {
 		e := c.robAt(i)
 		if e.issued {
 			continue
 		}
+		left--
 		switch e.op.Kind {
 		case isa.Ld, isa.LockAcq:
 			c.issueLoad(now, e)
@@ -567,6 +661,9 @@ func (c *Core) issuePending(now uint64) {
 			} else {
 				c.issueLoad(now, e)
 			}
+		}
+		if e.issued {
+			c.unissued--
 		}
 	}
 }
@@ -581,7 +678,7 @@ func (c *Core) retire(now uint64) {
 		}
 		switch e.op.Kind {
 		case isa.St, isa.LockRel:
-			if len(c.sb) >= c.cfg.Core.StoreBuf {
+			if c.sbCount >= c.cfg.Core.StoreBuf {
 				return
 			}
 			if c.mode == ModeATOM && e.op.Kind == isa.St && e.op.Tx != 0 && isa.IsPersistentAddr(e.op.Addr) {
@@ -592,13 +689,13 @@ func (c *Core) retire(now uint64) {
 					return
 				}
 			}
-			c.sb = append(c.sb, sbEntry{kind: sbStore, addr: e.op.Addr, size: int(e.op.Size), val: e.op.Val, tx: e.op.Tx})
+			c.sbPush(sbEntry{kind: sbStore, addr: e.op.Addr, size: int(e.op.Size), val: e.op.Val, tx: e.op.Tx})
 
 		case isa.Clwb:
-			if len(c.sb) >= c.cfg.Core.StoreBuf {
+			if c.sbCount >= c.cfg.Core.StoreBuf {
 				return
 			}
-			c.sb = append(c.sb, sbEntry{kind: sbClwb, addr: e.op.Addr})
+			c.sbPush(sbEntry{kind: sbClwb, addr: e.op.Addr})
 			if c.st != nil {
 				c.st.Clwbs++
 			}
@@ -679,7 +776,7 @@ func (c *Core) retire(now uint64) {
 // issued clwb/persist operations have been acknowledged (sfence's retire
 // condition).
 func (c *Core) persistComplete(now uint64) bool {
-	if len(c.sb) > 0 {
+	if c.sbCount > 0 {
 		return false
 	}
 	keep := c.persistAcks[:0]
@@ -696,7 +793,7 @@ func (c *Core) persistComplete(now uint64) bool {
 // store buffer and LogQ to drain, then force the MC to write the current
 // transaction's LPQ entries to NVM.
 func (c *Core) retireLogSave(now uint64) bool {
-	if len(c.sb) > 0 || !c.logQEmpty() {
+	if c.sbCount > 0 || !c.logQEmpty() {
 		return false
 	}
 	c.mc.DrainLog(now, c.id, c.curTx)
@@ -710,10 +807,10 @@ func (c *Core) retireLogSave(now uint64) bool {
 // per cycle, honoring the Proteus ordering rule: a store whose log-from
 // block has an unacknowledged log-flush in the LogQ is held (§4.2).
 func (c *Core) drainStoreBuffer(now uint64) {
-	if len(c.sb) == 0 || c.sbBusyUntil > now {
+	if c.sbCount == 0 || c.sbBusyUntil > now {
 		return
 	}
-	e := c.sb[0]
+	e := *c.sbAt(0)
 	switch e.kind {
 	case sbStore:
 		if c.mode == ModeProteus && e.tx != 0 && isa.IsPersistentAddr(e.addr) {
@@ -744,7 +841,7 @@ func (c *Core) drainStoreBuffer(now uint64) {
 		c.persistAcks = append(c.persistAcks, done)
 		c.sbBusyUntil = now + 1
 	}
-	c.sb = c.sb[1:]
+	c.sbPop()
 	c.stores--
 }
 

@@ -46,7 +46,7 @@ func (c *Core) dispatchLogLoad(now uint64, op isa.Op, lri int) {
 	}
 	c.lrFIFO = append(c.lrFIFO, lri)
 	c.loads++
-	e := c.robPush(robEntry{op: op, lr: lri, lqe: -1, dispatch: now})
+	e := c.robPush(robEntry{op: op, lr: lri, lqe: -1})
 	if hit {
 		e.issued = true
 		e.doneAt = now + 1
@@ -54,6 +54,9 @@ func (c *Core) dispatchLogLoad(now uint64, op isa.Op, lri int) {
 		c.lr[lri].doneAt = now + 1
 	} else {
 		c.issueProteusLogLoad(now, e)
+		if !e.issued {
+			c.unissued++
+		}
 	}
 }
 
@@ -84,9 +87,9 @@ func (c *Core) dispatchLogFlush(now uint64, op isa.Op) bool {
 	}
 	lri := c.lrFIFO[0]
 	if c.lr[lri].filtered {
-		c.lrFIFO = c.lrFIFO[1:]
+		c.popLRFIFO()
 		c.lr[lri] = lrSlot{} // recycle immediately; nothing to flush
-		c.robPush(robEntry{op: op, issued: true, doneAt: now + 1, filtered: true, lr: -1, lqe: -1, dispatch: now})
+		c.robPush(robEntry{op: op, issued: true, doneAt: now + 1, filtered: true, lr: -1, lqe: -1})
 		return true
 	}
 	slot := -1
@@ -100,7 +103,7 @@ func (c *Core) dispatchLogFlush(now uint64, op isa.Op) bool {
 		c.stall(stats.StallLogQ)
 		return false
 	}
-	c.lrFIFO = c.lrFIFO[1:]
+	c.popLRFIFO()
 
 	logTo := c.curlog
 	c.curlog += isa.LineSize
@@ -123,11 +126,19 @@ func (c *Core) dispatchLogFlush(now uint64, op isa.Op) bool {
 		valid: true, lr: lri, logFrom: c.lr[lri].addr, logTo: logTo,
 		tx: op.Tx, seq: c.lqSeq,
 	}
+	c.lqCount++
 	if c.st != nil {
 		c.st.LogFlushes++
 	}
-	c.robPush(robEntry{op: op, issued: true, doneAt: now + 1, lr: lri, lqe: slot, lqSeq: c.lqSeq, dispatch: now})
+	c.robPush(robEntry{op: op, issued: true, doneAt: now + 1, lr: lri, lqe: slot, lqSeq: c.lqSeq})
 	return true
+}
+
+// popLRFIFO removes the oldest pending log-load, keeping the slice's
+// storage (its capacity is bounded by the log-register count).
+func (c *Core) popLRFIFO() {
+	copy(c.lrFIFO, c.lrFIFO[1:])
+	c.lrFIFO = c.lrFIFO[:len(c.lrFIFO)-1]
 }
 
 // tickLogQ advances in-flight log flushes: copies log data out of ready
@@ -135,6 +146,9 @@ func (c *Core) dispatchLogFlush(now uint64, op isa.Op) bool {
 // the LogQ hides the logging latency, §4.2), and frees entries when the
 // controller acknowledges receipt.
 func (c *Core) tickLogQ(now uint64) {
+	if c.lqCount == 0 {
+		return
+	}
 	for i := range c.logQ {
 		q := &c.logQ[i]
 		if !q.valid {
@@ -166,6 +180,7 @@ func (c *Core) tickLogQ(now uint64) {
 		}
 		if q.issued && q.ackAt <= now {
 			q.valid = false
+			c.lqCount--
 		}
 	}
 }

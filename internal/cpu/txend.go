@@ -27,7 +27,7 @@ func (c *Core) retireTxEnd(now uint64, tx uint32) bool {
 	if c.mode == ModePlain {
 		c.Commits = append(c.Commits, Commit{Tx: tx, Cycle: now})
 		if t != nil && t.tx == tx {
-			c.txs = c.txs[1:]
+			c.popTx()
 		}
 		c.curTx = 0
 		return true
@@ -41,7 +41,7 @@ func (c *Core) retireTxEnd(now uint64, tx uint32) bool {
 
 	switch c.txEndStage {
 	case txEndIdle:
-		if len(c.sb) > 0 {
+		if c.sbCount > 0 {
 			return false
 		}
 		if c.mode == ModeProteus && !c.logQEmptyFor(tx) {
@@ -103,7 +103,7 @@ func (c *Core) retireTxEnd(now uint64, tx uint32) bool {
 		if c.st != nil {
 			c.st.TxCommitted++
 		}
-		c.txs = c.txs[1:]
+		c.popTx()
 		c.curTx = 0
 		c.txEndStage = txEndIdle
 		return true

@@ -1,0 +1,82 @@
+package cpu
+
+// u64set is a reusable sorted-slice set of uint64 keys. Transactions track
+// their dirty lines with it instead of a freshly allocated map: reset
+// keeps the backing array, so steady-state transaction turnover performs
+// no heap allocations. Membership is a binary search over a slice that is
+// small (a transaction's working set) and cache-resident.
+type u64set struct {
+	ks []uint64
+}
+
+// search returns the insertion index of v in the sorted slice ks.
+func search(ks []uint64, v uint64) int {
+	lo, hi := 0, len(ks)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ks[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// add inserts v and reports whether it was absent.
+func (s *u64set) add(v uint64) bool {
+	i := search(s.ks, v)
+	if i < len(s.ks) && s.ks[i] == v {
+		return false
+	}
+	s.ks = append(s.ks, 0)
+	copy(s.ks[i+1:], s.ks[i:])
+	s.ks[i] = v
+	return true
+}
+
+// contains reports membership.
+func (s *u64set) contains(v uint64) bool {
+	i := search(s.ks, v)
+	return i < len(s.ks) && s.ks[i] == v
+}
+
+// reset empties the set, keeping its storage.
+func (s *u64set) reset() { s.ks = s.ks[:0] }
+
+// u64kv is a reusable sorted key→int map with the same storage-retaining
+// properties as u64set (the ATOM logged-line index).
+type u64kv struct {
+	ks []uint64
+	vs []int
+}
+
+// get returns the value for k.
+func (m *u64kv) get(k uint64) (int, bool) {
+	i := search(m.ks, k)
+	if i < len(m.ks) && m.ks[i] == k {
+		return m.vs[i], true
+	}
+	return 0, false
+}
+
+// put inserts or overwrites k.
+func (m *u64kv) put(k uint64, v int) {
+	i := search(m.ks, k)
+	if i < len(m.ks) && m.ks[i] == k {
+		m.vs[i] = v
+		return
+	}
+	m.ks = append(m.ks, 0)
+	copy(m.ks[i+1:], m.ks[i:])
+	m.ks[i] = k
+	m.vs = append(m.vs, 0)
+	copy(m.vs[i+1:], m.vs[i:])
+	m.vs[i] = v
+}
+
+// reset empties the map, keeping its storage.
+func (m *u64kv) reset() {
+	m.ks = m.ks[:0]
+	m.vs = m.vs[:0]
+}

@@ -68,6 +68,11 @@ type Config struct {
 	// RecoverCmd names the replay binary in generated repro command lines;
 	// empty means "proteus-recover".
 	RecoverCmd string
+	// Stepper selects the cycle-advance strategy for the sweep systems
+	// (the zero value is the event-driven fast stepper). The full-length
+	// reference runs executed through Engine follow the engine's own
+	// Stepper configuration instead.
+	Stepper core.Stepper
 }
 
 // Normalize fills defaulted fields (benchmark matrix, fault list, sweep
@@ -119,7 +124,12 @@ type tupleCtx struct {
 
 // newSystem builds a fresh machine for the tuple.
 func (tc *tupleCtx) newSystem() (*core.System, error) {
-	return core.NewSystem(tc.cfg, tc.scheme, tc.traces, tc.wl.InitImage)
+	sys, err := core.NewSystem(tc.cfg, tc.scheme, tc.traces, tc.wl.InitImage)
+	if err != nil {
+		return nil, err
+	}
+	sys.SetStepper(tc.camp.Stepper)
+	return sys, nil
 }
 
 // stepTo advances the system to the cycle (or the end of the run).

@@ -103,6 +103,35 @@ func TestDeterministicReport(t *testing.T) {
 	}
 }
 
+// TestStepperEquivalentReport: the campaign report bytes are identical
+// whether the sweep systems and engine runs use the fast event-driven
+// stepper or the per-cycle reference stepper.
+func TestStepperEquivalentReport(t *testing.T) {
+	render := func(st core.Stepper) []byte {
+		c := testConfig(4)
+		c.Engine = engine.New(engine.Config{Workers: 4, Stepper: st})
+		c.Stepper = st
+		c.Benches = []workload.Kind{workload.Queue, workload.StringSwap}
+		c.Sweep = 6
+		c.Rand = 2
+		c.Faults = AllFaults
+		rep, err := Run(context.Background(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	fast := render(core.StepperFast)
+	ref := render(core.StepperReference)
+	if !bytes.Equal(fast, ref) {
+		t.Fatalf("report differs between fast and reference steppers:\n--- fast ---\n%s\n--- reference ---\n%s", fast, ref)
+	}
+}
+
 // TestMinimizerProducesReproducer: a scheme that is not failure safe
 // yields vulnerable injections; with MinimizeAll each gets bisected to an
 // earlier-or-equal cycle and dumped as an artifact that replays to the

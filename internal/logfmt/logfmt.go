@@ -86,8 +86,20 @@ type ProteusEntry struct {
 	Last bool
 }
 
+// crcIEEE is a table-driven CRC-32 (IEEE), byte-identical to
+// crc32.ChecksumIEEE. The stdlib checksum dispatches into assembly, which
+// defeats escape analysis and forces every stack-built line image to the
+// heap; this pure-Go loop keeps the encoders allocation-free.
+func crcIEEE(data []byte) uint32 {
+	crc := ^uint32(0)
+	for _, b := range data {
+		crc = crc32.IEEETable[byte(crc)^b] ^ (crc >> 8)
+	}
+	return ^crc
+}
+
 func proteusCRC(line *[isa.LineSize]byte) uint32 {
-	return crc32.ChecksumIEEE(line[:proteusCRCOff])
+	return crcIEEE(line[:proteusCRCOff])
 }
 
 // EncodeProteus writes the entry into a 64-byte line image.
@@ -184,7 +196,7 @@ type PairEntry struct {
 }
 
 // PairDataCRC computes the data-line checksum stored in the meta line.
-func PairDataCRC(data []byte) uint32 { return crc32.ChecksumIEEE(data) }
+func PairDataCRC(data []byte) uint32 { return crcIEEE(data) }
 
 // EncodePairMeta builds the metadata line. The caller provides DataCRC
 // over the Len bytes the data line will hold (PairDataCRC).
@@ -193,7 +205,7 @@ func EncodePairMeta(e PairEntry) [isa.LineSize]byte {
 	binary.LittleEndian.PutUint64(line[pairFromOff:], e.From)
 	binary.LittleEndian.PutUint64(line[pairTxOff:], e.Tx)
 	binary.LittleEndian.PutUint64(line[pairLenOff:], e.Len&0xFFFF_FFFF|uint64(e.DataCRC)<<32)
-	meta := crc32.ChecksumIEEE(line[pairFromOff:pairMetaEnd])
+	meta := crcIEEE(line[pairFromOff:pairMetaEnd])
 	binary.LittleEndian.PutUint64(line[pairValidOff:], PairValidMagic|uint64(meta)<<32)
 	return line
 }
@@ -215,7 +227,7 @@ func DecodePairMetaChecked(line []byte) (PairEntry, LineState) {
 		}
 		return e, LineEmpty
 	}
-	if uint32(valid>>32) != crc32.ChecksumIEEE(line[pairFromOff:pairMetaEnd]) {
+	if uint32(valid>>32) != crcIEEE(line[pairFromOff:pairMetaEnd]) {
 		return e, LineCorrupt
 	}
 	e.From = binary.LittleEndian.Uint64(line[pairFromOff:])

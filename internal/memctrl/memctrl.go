@@ -58,6 +58,17 @@ type Controller struct {
 	forceAll  int      // count of pcommit waiters forcing full drain
 	drainHi   int
 	maxWPQAge uint64
+
+	// Event tracking: instead of polling every queue every cycle, Tick
+	// keeps the next cycle each pass can possibly act. The cached values
+	// are exact no-op filters — skipping a pass is provably identical to
+	// running it.
+	issuedN    int    // WPQ entries issued to the device, not yet retired
+	unissuedN  int    // WPQ entries not yet issued
+	nextRetire uint64 // min doneAt over issued entries (valid when issuedN > 0)
+	readsMin   uint64 // min completion over outstanding reads (valid when len(reads) > 0)
+
+	atomScratch map[uint64]bool // reusable AtomTxEnd cancellation set
 }
 
 // New returns a controller draining into dev/store. The drain policy
@@ -68,6 +79,12 @@ func New(cfg config.Mem, dev *nvm.Device, store *nvm.Store, st *stats.Mem) *Cont
 		cfg: cfg, dev: dev, store: store, st: st,
 		drainHi:   cfg.DrainHi,
 		maxWPQAge: uint64(cfg.MaxWPQAge),
+		// WriteLineEvict can push past the configured capacity; leave
+		// headroom so steady-state operation never regrows the arrays.
+		wpq:         make([]wpqEntry, 0, cfg.WPQ+8),
+		lpq:         make([]LogEntry, 0, cfg.LPQ+1),
+		reads:       make([]uint64, 0, cfg.ReadQ),
+		atomScratch: make(map[uint64]bool),
 	}
 }
 
@@ -107,6 +124,9 @@ func (c *Controller) ReadLine(now uint64, addr uint64) (done uint64, data [isa.L
 	if c.st != nil {
 		c.st.ReadLatency += done - now
 		c.st.ReadsServed++
+	}
+	if len(c.reads) == 0 || done < c.readsMin {
+		c.readsMin = done
 	}
 	c.reads = append(c.reads, done)
 	c.store.ReadInto(addr, data[:])
@@ -152,6 +172,7 @@ func (c *Controller) WriteLine(now uint64, addr uint64, data [isa.LineSize]byte,
 		return false
 	}
 	c.seq++
+	c.unissuedN++
 	c.wpq = append(c.wpq, wpqEntry{seq: c.seq, addr: addr, data: data, cause: cause, arrived: now})
 	return true
 }
@@ -167,6 +188,7 @@ func (c *Controller) atomWrite(now uint64, addr uint64, data [isa.LineSize]byte,
 		return false
 	}
 	c.seq++
+	c.unissuedN++
 	c.wpq = append(c.wpq, wpqEntry{seq: c.seq, addr: addr, data: data, cause: cause, arrived: now, atomCore: core + 1, atomTx: tx})
 	return true
 }
@@ -233,6 +255,7 @@ func (c *Controller) WriteLineEvict(now uint64, addr uint64, data [isa.LineSize]
 		c.st.WPQFullStall++
 	}
 	c.seq++
+	c.unissuedN++
 	c.wpq = append(c.wpq, wpqEntry{seq: c.seq, addr: addr, data: data, cause: cause, arrived: now})
 }
 
@@ -241,18 +264,44 @@ func (c *Controller) WriteLineEvict(now uint64, addr uint64, data [isa.LineSize]
 // issues pending writes according to the drain policy (drain eagerly when
 // the WPQ is above half capacity, when entries age out, or when a force
 // drain is in effect; this leaves a window for write coalescing).
+//
+// Each pass is gated on the event times the controller tracks (read
+// completions, issued-write completions, unissued-entry presence), so a
+// tick in which nothing can happen costs three compares instead of three
+// queue scans. The gates are exact: a skipped pass would not have changed
+// any state.
 func (c *Controller) Tick(now uint64) {
-	// Free read-queue slots whose device access has completed.
+	if len(c.reads) > 0 && c.readsMin <= now {
+		c.gcReads(now)
+	}
+	if c.issuedN > 0 && c.nextRetire <= now {
+		c.retirePass(now)
+	}
+	if c.unissuedN > 0 {
+		c.issuePass(now)
+	}
+}
+
+// gcReads frees read-queue slots whose device access has completed.
+func (c *Controller) gcReads(now uint64) {
 	r := c.reads[:0]
+	c.readsMin = ^uint64(0)
 	for _, d := range c.reads {
 		if d > now {
+			if d < c.readsMin {
+				c.readsMin = d
+			}
 			r = append(r, d)
 		}
 	}
 	c.reads = r
+}
 
-	// Retire completed writes.
+// retirePass retires completed writes, applying their data to the store.
+func (c *Controller) retirePass(now uint64) {
 	w := c.wpq[:0]
+	c.issuedN = 0
+	c.nextRetire = ^uint64(0)
 	for _, e := range c.wpq {
 		if e.issued && e.doneAt <= now {
 			c.store.Write(e.addr, e.data[:])
@@ -270,15 +319,32 @@ func (c *Controller) Tick(now uint64) {
 			}
 			continue
 		}
+		if e.issued {
+			c.issuedN++
+			if e.doneAt < c.nextRetire {
+				c.nextRetire = e.doneAt
+			}
+		}
 		w = append(w, e)
 	}
 	c.wpq = w
+}
 
-	// Issue pending writes FR-FCFS style, at a bounded rate so newer
-	// entries linger long enough to coalesce: row-buffer hits on free
-	// banks first (batching same-row writes amortizes the expensive NVM
-	// activates), then oldest-first on free banks, then oldest-first.
-	// A force drain (pcommit) lifts the rate bound.
+// markIssued records an entry transitioning to issued in the event caches.
+func (c *Controller) markIssued(doneAt uint64) {
+	c.issuedN++
+	c.unissuedN--
+	if doneAt < c.nextRetire || c.issuedN == 1 {
+		c.nextRetire = doneAt
+	}
+}
+
+// issuePass issues pending writes FR-FCFS style, at a bounded rate so
+// newer entries linger long enough to coalesce: row-buffer hits on free
+// banks first (batching same-row writes amortizes the expensive NVM
+// activates), then oldest-first on free banks, then oldest-first.
+// A force drain (pcommit) lifts the rate bound.
+func (c *Controller) issuePass(now uint64) {
 	budget := 4
 	if c.forceAll > 0 {
 		budget = len(c.wpq)
@@ -339,6 +405,7 @@ func (c *Controller) Tick(now uint64) {
 		e.issued = true
 		e.issueAt = now
 		e.doneAt = c.dev.Access(now, e.addr, true, e.cause)
+		c.markIssued(e.doneAt)
 		// Burst out every other pending write to the same row while it is
 		// open: one activate serves the whole batch (free of the budget —
 		// row hits only occupy the bank for the burst).
@@ -363,6 +430,7 @@ func (c *Controller) Tick(now uint64) {
 			o.issued = true
 			o.issueAt = now
 			o.doneAt = c.dev.Access(now, o.addr, true, o.cause)
+			c.markIssued(o.doneAt)
 			room--
 		}
 	}
@@ -397,7 +465,8 @@ func (c *Controller) LogFlush(now uint64, e LogEntry) bool {
 		// Evict the oldest entry to NVM, through the write scheduler so
 		// evictions batch by row instead of wedging banks one by one.
 		old := c.lpq[0]
-		c.lpq = c.lpq[1:]
+		copy(c.lpq, c.lpq[1:])
+		c.lpq = c.lpq[:len(c.lpq)-1]
 		c.WriteLineEvict(now, old.LogTo, old.Data, stats.WriteLog)
 		if c.st != nil {
 			c.st.LPQDrained++
@@ -505,14 +574,25 @@ func (c *Controller) AtomTxEnd(now uint64, core int, tx uint32, logEntries []uin
 	// invalidation would resurrect a stale log entry.) Only un-issued
 	// cancellations save an NVM write; issued ones already accessed the
 	// device.
-	cancelled := make(map[uint64]bool)
+	cancelled := c.atomScratch
+	clear(cancelled)
 	w := c.wpq[:0]
+	c.issuedN, c.unissuedN = 0, 0
+	c.nextRetire = ^uint64(0)
 	for _, e := range c.wpq {
 		if e.atomCore == core+1 && e.atomTx == tx && e.cause == stats.WriteLog {
 			if !e.issued {
 				cancelled[e.addr] = true
 			}
 			continue
+		}
+		if e.issued {
+			c.issuedN++
+			if e.doneAt < c.nextRetire {
+				c.nextRetire = e.doneAt
+			}
+		} else {
+			c.unissuedN++
 		}
 		w = append(w, e)
 	}
@@ -632,4 +712,74 @@ func (c *Controller) PendingLines(adr bool) []uint64 {
 		}
 	}
 	return out
+}
+
+// ------------------------------------------------------------- next event
+
+// NextEvent reports the controller's next possible state change strictly
+// after cycle now, for the fast-forward stepper. A return of 0 means the
+// controller may act at now+1 and must be ticked; otherwise the returned
+// cycle is a sound lower bound: ticking the controller at any cycle in
+// (now, wake) is guaranteed to change nothing.
+//
+// The derivation mirrors Tick exactly. Retires happen at issued entries'
+// completion times; read-queue slots free at read completion times; an
+// unissued entry can first issue at the latest of its arrival, the drain
+// gate opening (age or occupancy or force drain) and the bank gate opening
+// (bank free, age override, or force drain). Bank busy times are frozen
+// while the controller is idle, which is what makes the bound exact.
+// An entry already eligible that was not issued (rate budget, same-address
+// ordering) means the controller is active and 0 is returned.
+func (c *Controller) NextEvent(now uint64) uint64 {
+	const inf = ^uint64(0)
+	wake := inf
+	if len(c.reads) > 0 {
+		if c.readsMin <= now {
+			return 0
+		}
+		wake = c.readsMin
+	}
+	for i := range c.wpq {
+		e := &c.wpq[i]
+		if e.issued {
+			if e.doneAt <= now {
+				return 0
+			}
+			if e.doneAt < wake {
+				wake = e.doneAt
+			}
+			continue
+		}
+		// Earliest cycle the drain gate can pass.
+		tDrain := e.arrived
+		if c.forceAll == 0 && len(c.wpq) <= c.drainHi {
+			maxAge := c.maxWPQAge
+			if e.cause != stats.WriteData {
+				maxAge *= 8
+			}
+			tDrain = e.arrived + maxAge
+		}
+		// Earliest cycle the bank gate can pass: a free bank, the aged-out
+		// override, or a force drain (which ignores bank state).
+		tBank := c.dev.NextFree(e.addr)
+		if c.forceAll > 0 {
+			tBank = 0
+		} else if t2 := e.arrived + 4*c.maxWPQAge; t2 < tBank {
+			tBank = t2
+		}
+		t := e.arrived
+		if tDrain > t {
+			t = tDrain
+		}
+		if tBank > t {
+			t = tBank
+		}
+		if t <= now {
+			return 0 // eligible now but unissued: budget or ordering held it
+		}
+		if t < wake {
+			wake = t
+		}
+	}
+	return wake
 }

@@ -19,8 +19,15 @@ import (
 // blocks. It is shared between the timing layer (writes drained from the
 // memory controller land here) and the recovery layer (crash images are
 // snapshots of it).
+//
+// A store can be a copy-on-write fork of a base store (Fork): reads fall
+// through to the base, the first write to a line copies it. Simulations
+// fork the (immutable, shared) workload init image instead of deep-copying
+// it, which removes the dominant allocation cost of building a System.
 type Store struct {
 	blocks map[uint64]*[isa.LineSize]byte
+	base   *Store // copy-on-write parent; nil for a flat store
+	slab   [][isa.LineSize]byte
 }
 
 // NewStore returns an empty store. Unwritten bytes read as zero.
@@ -28,14 +35,72 @@ func NewStore() *Store {
 	return &Store{blocks: make(map[uint64]*[isa.LineSize]byte)}
 }
 
+// Fork returns a copy-on-write view of s. The fork sees every line of s
+// and owns every line it writes; s must not be written while forks of it
+// are alive (concurrent read-only use of the base is safe).
+func (s *Store) Fork() *Store {
+	return &Store{blocks: make(map[uint64]*[isa.LineSize]byte), base: s}
+}
+
+// slabBlocks sizes the arena chunks blocks are carved from: one heap
+// allocation covers this many lines.
+const slabBlocks = 512
+
+func (s *Store) newBlock() *[isa.LineSize]byte {
+	if len(s.slab) == 0 {
+		s.slab = make([][isa.LineSize]byte, slabBlocks)
+	}
+	b := &s.slab[0]
+	s.slab = s.slab[1:]
+	return b
+}
+
 func (s *Store) block(addr uint64, create bool) *[isa.LineSize]byte {
 	line := isa.LineAddr(addr)
-	b := s.blocks[line]
-	if b == nil && create {
-		b = new([isa.LineSize]byte)
-		s.blocks[line] = b
+	if b := s.blocks[line]; b != nil {
+		return b
 	}
-	return b
+	var inherited *[isa.LineSize]byte
+	for p := s.base; p != nil; p = p.base {
+		if b := p.blocks[line]; b != nil {
+			inherited = b
+			break
+		}
+	}
+	if !create {
+		return inherited
+	}
+	nb := s.newBlock()
+	if inherited != nil {
+		*nb = *inherited
+	}
+	s.blocks[line] = nb
+	return nb
+}
+
+// view returns the merged line map of the store and its base chain (own
+// lines shadow inherited ones). For a flat store it is the block map
+// itself and costs nothing.
+func (s *Store) view() map[uint64]*[isa.LineSize]byte {
+	if s.base == nil {
+		return s.blocks
+	}
+	n := len(s.blocks)
+	for p := s.base; p != nil; p = p.base {
+		n += len(p.blocks)
+	}
+	m := make(map[uint64]*[isa.LineSize]byte, n)
+	var add func(*Store)
+	add = func(p *Store) {
+		if p.base != nil {
+			add(p.base)
+		}
+		for a, b := range p.blocks {
+			m[a] = b
+		}
+	}
+	add(s)
+	return m
 }
 
 // Read copies size bytes at addr into a fresh slice.
@@ -99,25 +164,29 @@ func (s *Store) WriteUint64(addr, v uint64) {
 	s.Write(addr, buf[:])
 }
 
-// Snapshot returns a deep copy of the store (a crash image).
+// Snapshot returns a deep, flat copy of the store (a crash image). Forked
+// stores are flattened: the copy holds the merged contents and has no base.
 func (s *Store) Snapshot() *Store {
-	c := NewStore()
-	for a, b := range s.blocks {
-		nb := *b
-		c.blocks[a] = &nb
+	v := s.view()
+	c := &Store{blocks: make(map[uint64]*[isa.LineSize]byte, len(v))}
+	for a, b := range v {
+		nb := c.newBlock()
+		*nb = *b
+		c.blocks[a] = nb
 	}
 	return c
 }
 
-// Blocks returns the number of materialized 64-byte blocks.
-func (s *Store) Blocks() int { return len(s.blocks) }
+// Blocks returns the number of materialized 64-byte blocks (including
+// lines inherited from the base of a fork).
+func (s *Store) Blocks() int { return len(s.view()) }
 
 // LinesIn returns the sorted addresses of materialized 64-byte blocks in
 // [base, limit). Recovery uses it to scan log areas without touching
 // never-written space.
 func (s *Store) LinesIn(base, limit uint64) []uint64 {
 	var out []uint64
-	for a := range s.blocks {
+	for a := range s.view() {
 		if a >= base && a < limit {
 			out = append(out, a)
 		}
@@ -140,7 +209,7 @@ func (s *Store) EqualRange(o *Store, addr uint64, size int) (bool, uint64) {
 }
 
 func (s *Store) String() string {
-	return fmt.Sprintf("nvm.Store{%d blocks}", len(s.blocks))
+	return fmt.Sprintf("nvm.Store{%d blocks}", s.Blocks())
 }
 
 // storeMagic heads a serialized store: "NVMIMG" + a format version.
@@ -154,13 +223,14 @@ func (s *Store) Serialize(w io.Writer) error {
 	if _, err := w.Write(storeMagic[:]); err != nil {
 		return err
 	}
+	v := s.view()
 	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(len(s.blocks)))
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(v)))
 	if _, err := w.Write(buf[:]); err != nil {
 		return err
 	}
-	lines := make([]uint64, 0, len(s.blocks))
-	for a := range s.blocks {
+	lines := make([]uint64, 0, len(v))
+	for a := range v {
 		lines = append(lines, a)
 	}
 	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
@@ -169,7 +239,7 @@ func (s *Store) Serialize(w io.Writer) error {
 		if _, err := w.Write(buf[:]); err != nil {
 			return err
 		}
-		if _, err := w.Write(s.blocks[a][:]); err != nil {
+		if _, err := w.Write(v[a][:]); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// fillRandom sets every numeric field (including array elements) of the
+// struct pointed to by v to a distinct pseudo-random value.
+func fillRandom(t *testing.T, v reflect.Value, rng *rand.Rand) {
+	t.Helper()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(uint64(rng.Int63n(1000) + 1))
+		case reflect.Array:
+			for j := 0; j < f.Len(); j++ {
+				f.Index(j).SetUint(uint64(rng.Int63n(1000) + 1))
+			}
+		default:
+			t.Fatalf("unsupported field kind %s for %s", f.Kind(), v.Type().Field(i).Name)
+		}
+	}
+}
+
+// checkScaled verifies after = before + (mid-before)*(k+1) holds for every
+// field, which is exactly what AddScaledDiff(before, k) applied to mid
+// must produce. Any field the hand-written method forgot shows up as a
+// mismatch because every field was seeded with a nonzero random delta.
+func checkScaled(t *testing.T, name string, before, mid, after reflect.Value, k uint64) {
+	t.Helper()
+	ty := before.Type()
+	for i := 0; i < ty.NumField(); i++ {
+		fb, fm, fa := before.Field(i), mid.Field(i), after.Field(i)
+		check := func(b, m, a uint64, field string) {
+			want := b + (m-b)*(k+1)
+			if a != want {
+				t.Errorf("%s.%s: got %d, want %d (AddScaledDiff misses this field?)", name, field, a, want)
+			}
+		}
+		switch fb.Kind() {
+		case reflect.Uint64:
+			check(fb.Uint(), fm.Uint(), fa.Uint(), ty.Field(i).Name)
+		case reflect.Array:
+			for j := 0; j < fb.Len(); j++ {
+				check(fb.Index(j).Uint(), fm.Index(j).Uint(), fa.Index(j).Uint(), ty.Field(i).Name)
+			}
+		}
+	}
+}
+
+func TestAddScaledDiffCoversAllFields(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const k = 5
+
+	var beforeC, midC Core
+	fillRandom(t, reflect.ValueOf(&beforeC).Elem(), rng)
+	midC = beforeC
+	// Perturb mid so every field has a nonzero delta.
+	mv := reflect.ValueOf(&midC).Elem()
+	for i := 0; i < mv.NumField(); i++ {
+		switch f := mv.Field(i); f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(f.Uint() + uint64(rng.Int63n(9)+1))
+		case reflect.Array:
+			for j := 0; j < f.Len(); j++ {
+				e := f.Index(j)
+				e.SetUint(e.Uint() + uint64(rng.Int63n(9)+1))
+			}
+		}
+	}
+	afterC := midC
+	afterC.AddScaledDiff(&beforeC, k)
+	checkScaled(t, "Core", reflect.ValueOf(beforeC), reflect.ValueOf(midC), reflect.ValueOf(afterC), k)
+
+	var beforeM, midM Mem
+	fillRandom(t, reflect.ValueOf(&beforeM).Elem(), rng)
+	midM = beforeM
+	mv = reflect.ValueOf(&midM).Elem()
+	for i := 0; i < mv.NumField(); i++ {
+		switch f := mv.Field(i); f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(f.Uint() + uint64(rng.Int63n(9)+1))
+		case reflect.Array:
+			for j := 0; j < f.Len(); j++ {
+				e := f.Index(j)
+				e.SetUint(e.Uint() + uint64(rng.Int63n(9)+1))
+			}
+		}
+	}
+	afterM := midM
+	afterM.AddScaledDiff(&beforeM, k)
+	checkScaled(t, "Mem", reflect.ValueOf(beforeM), reflect.ValueOf(midM), reflect.ValueOf(afterM), k)
+}
