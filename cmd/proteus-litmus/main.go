@@ -1,0 +1,180 @@
+// Command proteus-litmus runs the persistency-model litmus harness: it
+// enumerates tiny programs (2–4 persistent stores over two variables, up
+// to two threads, up to two durable transactions per thread), runs each
+// under every selected scheme, sweeps every distinct persist state of
+// every run with the crash campaign's fault models, and checks each
+// recovered image against the exact post-crash states the scheme's
+// declared ordering axioms permit. Any divergence is a bug — in the
+// simulator, the recovery path, or the axioms — and is reported with the
+// earliest divergent cycle, a shrunken fault mask, and (with -artifacts)
+// a replayable reproducer.
+//
+// The report is deterministic in (flags, -seed): byte-identical at any
+// -jobs count and under either -stepper.
+//
+// Examples:
+//
+//	proteus-litmus -programs curated -faults all -out litmus.json
+//	proteus-litmus -programs all -scheme Proteus,Proteus+NoLWR -jobs 8
+//	proteus-litmus -replay repro/Pc_x_y-Proteus-torn-c42
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crashcampaign"
+	"repro/internal/litmus"
+	"repro/internal/resultstore"
+)
+
+func main() {
+	var (
+		programsArg = flag.String("programs", "all", "programs to sweep: all (full grammar), curated (CI subset), or a comma-separated list of program names like Ps:xy;x|y")
+		schemeList  = flag.String("scheme", "all", "comma-separated schemes or all (the failure-safe set)")
+		faultsArg   = flag.String("faults", "all", "fault models to inject: clean, torn, adrloss, corrupt, all (clean is always included)")
+		jobs        = flag.Int("jobs", 0, "concurrent case sweeps (0 = GOMAXPROCS)")
+		out         = flag.String("out", "-", "report destination (- = stdout)")
+		artifacts   = flag.String("artifacts", "", "dump divergence reproducers into this directory")
+		seed        = flag.Int64("seed", 1, "per-injection fault randomness seed")
+		stepperSel  = flag.String("stepper", "fast", "cycle-advance strategy: fast or reference")
+		replayDir   = flag.String("replay", "", "re-check a reproducer directory instead of sweeping")
+		quiet       = flag.Bool("q", false, "suppress the stderr summary")
+	)
+	flag.Parse()
+
+	if *replayDir != "" {
+		replay(*replayDir)
+		return
+	}
+
+	programs, err := parsePrograms(*programsArg)
+	exitOn(err)
+	schemes, err := parseSchemes(*schemeList)
+	exitOn(err)
+	faults, err := crashcampaign.ParseFaults(*faultsArg)
+	exitOn(err)
+	stepper, err := core.StepperByName(*stepperSel)
+	exitOn(err)
+
+	cfg := litmus.Config{
+		Programs:    programs,
+		Schemes:     schemes,
+		Faults:      faults,
+		Seed:        *seed,
+		Workers:     *jobs,
+		Stepper:     stepper,
+		ArtifactDir: *artifacts,
+		ReplayCmd:   "proteus-litmus",
+	}
+
+	start := time.Now()
+	rep, err := litmus.Run(context.Background(), cfg)
+	exitOn(err)
+
+	if *out == "-" {
+		exitOn(rep.WriteJSON(os.Stdout))
+	} else {
+		// Buffer and publish atomically: a crash mid-write never clobbers
+		// the previous complete report.
+		var buf bytes.Buffer
+		exitOn(rep.WriteJSON(&buf))
+		exitOn(resultstore.WriteFileAtomic(*out, buf.Bytes(), 0o644))
+	}
+
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "litmus: %d programs, %d cases, %d injections over %d persist states in %v\n",
+			rep.Suite.Programs, rep.Totals.Cases, rep.Totals.Injections, totalStates(rep), time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "  verified %d, detected %d, vulnerable %d, failed %d (divergences %d)\n",
+			rep.Totals.Verified, rep.Totals.Detected, rep.Totals.Vulnerable, rep.Totals.Failed, rep.Totals.Divergences)
+		for _, c := range rep.Cases {
+			for _, d := range c.Divergences {
+				fmt.Fprintf(os.Stderr, "  DIVERGENCE %s/%s %s@%d: %s\n", c.Program, c.Scheme, d.Fault, d.Cycle, d.Detail)
+				if d.Repro != "" {
+					fmt.Fprintf(os.Stderr, "    repro: %s\n", d.Repro)
+				}
+			}
+		}
+	}
+	if rep.Totals.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// replay re-checks a reproducer directory: exit 0 when the recorded
+// outcome reproduces, 2 when the image now classifies differently, 1 on
+// error.
+func replay(dir string) {
+	res, err := litmus.Replay(dir)
+	exitOn(err)
+	fmt.Printf("program   %s\nscheme    %s\nfault     %s\ncycle     %d\ncommitted %v\nrecorded  %s\nreplayed  %s\n",
+		res.Meta.Program, res.Meta.Scheme, res.Meta.Fault, res.Meta.Cycle, res.Meta.Committed, res.Meta.Outcome, res.Outcome)
+	if res.Detail != "" {
+		fmt.Printf("detail    %s\n", res.Detail)
+	}
+	if !res.Reproduced {
+		fmt.Println("NOT reproduced")
+		os.Exit(2)
+	}
+	fmt.Println("reproduced")
+}
+
+func parsePrograms(s string) ([]litmus.Program, error) {
+	switch {
+	case strings.EqualFold(s, "all"):
+		return litmus.Enumerate(), nil
+	case strings.EqualFold(s, "curated"):
+		return litmus.Curated(), nil
+	}
+	var out []litmus.Program
+	for _, name := range strings.Split(s, ",") {
+		p, err := litmus.Parse(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func parseSchemes(s string) ([]core.Scheme, error) {
+	if strings.EqualFold(s, "all") {
+		var out []core.Scheme
+		for _, sc := range core.Schemes {
+			if sc.FailureSafe() {
+				out = append(out, sc)
+			}
+		}
+		return out, nil
+	}
+	var out []core.Scheme
+	for _, name := range strings.Split(s, ",") {
+		sc, err := crashcampaign.SchemeByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+func totalStates(rep *litmus.Report) int {
+	n := 0
+	for _, c := range rep.Cases {
+		n += c.States
+	}
+	return n
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proteus-litmus:", err)
+		os.Exit(1)
+	}
+}

@@ -425,3 +425,58 @@ func TestEnqueueDeduplicates(t *testing.T) {
 		t.Errorf("pending = %d, want 2", s.Pending)
 	}
 }
+
+// TestBackoffShiftClampAtHighRetryBudget pins the overflow clamp in
+// requeueLocked. BackoffBase<<(attempts-1) is computed in int64
+// nanoseconds; with a high retry budget the shift walks past 63 bits and
+// the product wraps mod 2^64. A base of (1<<34 + 1)ns wraps at attempt 31
+// to exactly 1<<30 ns (~1.07s) — positive and below BackoffMax, so the
+// old "> BackoffMax || <= 0" guard accepted it and the backoff window
+// silently collapsed. The clamp must hold every post-overflow attempt at
+// BackoffMax.
+func TestBackoffShiftClampAtHighRetryBudget(t *testing.T) {
+	const (
+		base = time.Duration(1<<34 + 1) // ~17.18s, odd so the wrap is exact
+		max  = 30 * time.Second
+	)
+	now := time.Unix(3000, 0)
+	clock := &now
+	co := NewCoordinator(Config{
+		LeaseTTL:    time.Hour,
+		WorkerTTL:   24 * time.Hour,
+		RetryBudget: 64,
+		BackoffBase: base,
+		BackoffMax:  max,
+		now:         func() time.Time { return *clock },
+	})
+	id := co.Enqueue(KindSim, json.RawMessage(`{}`), "feed", nil)
+
+	// Burn attempts 1..30: lease, fail, and skip far past any backoff.
+	for i := 0; i < 30; i++ {
+		got, err := co.Lease("w1", 1)
+		if err != nil || len(got) != 1 {
+			t.Fatalf("attempt %d: lease = (%v, %v), want the item", i+1, got, err)
+		}
+		if _, err := co.Complete("w1", id, nil, "injected failure"); err != nil {
+			t.Fatalf("attempt %d: fail report: %v", i+1, err)
+		}
+		now = now.Add(max + time.Second)
+	}
+
+	// Attempt 31: the shift by 30 wraps. The requeue window must still be
+	// the full BackoffMax, not the wrapped ~1.07s.
+	if got, _ := co.Lease("w1", 1); len(got) != 1 {
+		t.Fatal("attempt 31: item not leasable")
+	}
+	if _, err := co.Complete("w1", id, nil, "injected failure"); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Second) // far beyond the wrapped window
+	if got, _ := co.Lease("w1", 1); len(got) != 0 {
+		t.Fatalf("item leasable 2s after failure 31: backoff wrapped instead of clamping to %v", max)
+	}
+	now = now.Add(max - 2*time.Second)
+	if got, _ := co.Lease("w1", 1); len(got) != 1 {
+		t.Fatalf("item not leasable after the full %v clamped backoff", max)
+	}
+}

@@ -391,7 +391,13 @@ func (c *Coordinator) requeueLocked(it *item, now time.Time) {
 		c.log.Error("item quarantined", "item", it.ID, "attempts", it.attempts, "last_err", it.lastErr)
 		return
 	}
-	backoff := c.conf.BackoffBase << (it.attempts - 1)
+	// Clamp the exponent before shifting: with a large RetryBudget the
+	// shift can exceed 63 bits and wrap to a small positive duration that
+	// the <= 0 guard below never catches.
+	backoff := c.conf.BackoffMax
+	if shift := it.attempts - 1; shift < 63 && c.conf.BackoffBase<<shift>>shift == c.conf.BackoffBase {
+		backoff = c.conf.BackoffBase << shift
+	}
 	if backoff > c.conf.BackoffMax || backoff <= 0 {
 		backoff = c.conf.BackoffMax
 	}

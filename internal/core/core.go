@@ -511,3 +511,10 @@ func (s *System) PendingLines(adr bool) []uint64 {
 func (s *System) QueueLens() (wpq, lpq int) {
 	return s.mc.WPQLen(), s.mc.LPQLen()
 }
+
+// PersistSig summarizes the persist-relevant machine state (functional
+// store mutations plus pending queue contents): cycles with equal
+// signatures produce byte-identical crash images under every fault
+// model. Exhaustive crash-point sweeps use it to classify one
+// representative cycle per signature.
+func (s *System) PersistSig() uint64 { return s.mc.PersistSig() }

@@ -1,0 +1,65 @@
+package core
+
+// OrderingRules is a scheme's declared persistency contract: the axioms
+// its logging design promises about post-crash NVM state. The crash
+// campaign's expectation matrix and the litmus harness's axiomatic
+// checker are both derived from these declarations, so a simulator or
+// recovery behaviour that contradicts them is mechanically detectable —
+// the rules are load-bearing, not documentation.
+type OrderingRules struct {
+	// LogBeforeData: the log entry covering a persistent store is durable
+	// before the store's own line may reach NVM, so recovery can always
+	// undo (or redo) a partially persisted transaction.
+	LogBeforeData bool
+
+	// CommitLag bounds recovery's freedom at a transaction boundary: the
+	// durable state recovery produces for a thread corresponds to a whole
+	// number of its transactions m, with m in [n, n+CommitLag] where n is
+	// the thread's committed count at the crash. Lag 1 admits the
+	// transaction whose commit was in flight (its data durable, its log
+	// not yet invalidated) being replayed or kept whole.
+	CommitLag int
+
+	// QueueDrain: the scheme counts the memory controller's WPQ/LPQ into
+	// its persistency domain and relies on ADR draining them at power
+	// failure. Such schemes are exposed to torn queue writes and ADR
+	// (backup capacitor) loss; a scheme with QueueDrain false flushes
+	// explicitly and owes its guarantees even under those faults.
+	QueueDrain bool
+
+	// DetectsCorruption: recovery validates log integrity and must either
+	// produce a permitted state or report the corruption — it never
+	// silently applies a corrupted entry.
+	DetectsCorruption bool
+}
+
+// Ordering returns the scheme's declared persistency axioms. Schemes that
+// are not failure-safe (PMEM+nolog) declare no ordering between log and
+// data — there is no log — and promise nothing after a crash.
+func (s Scheme) Ordering() OrderingRules {
+	switch s {
+	case PMEM, ATOM, ProteusNoLWR, Proteus:
+		return OrderingRules{LogBeforeData: true, CommitLag: 1, QueueDrain: true, DetectsCorruption: true}
+	case PMEMPcommit:
+		// pcommit stalls until the controller queues are on NVM, so the
+		// platform's ADR drain is never load-bearing.
+		return OrderingRules{LogBeforeData: true, CommitLag: 1, QueueDrain: false, DetectsCorruption: true}
+	case PMEMNoLog:
+		return OrderingRules{QueueDrain: true}
+	}
+	return OrderingRules{}
+}
+
+// ExpectSafe reports whether the axioms promise the durable-transaction
+// property under the given platform condition: queuesLost is true when
+// the fault defeats the ADR drain (torn queue writes, capacitor failure).
+// A scheme without LogBeforeData promises nothing; one whose persistency
+// domain leans on the ADR drain loses its promise when the drain fails.
+// Corruption faults are excluded — their contract is verified-or-detected
+// (DetectsCorruption), not unconditional safety.
+func (r OrderingRules) ExpectSafe(queuesLost bool) bool {
+	if !r.LogBeforeData {
+		return false
+	}
+	return !queuesLost || !r.QueueDrain
+}

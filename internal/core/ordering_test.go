@@ -1,0 +1,46 @@
+package core
+
+import "testing"
+
+// TestOrderingRulesConsistency pins the scheme axiom declarations against
+// the scheme predicates the simulator itself is built from: a scheme's
+// QueueDrain axiom must match its ADR persistency domain, and exactly the
+// failure-safe schemes declare log-before-data with a bounded commit lag.
+func TestOrderingRulesConsistency(t *testing.T) {
+	for _, s := range Schemes {
+		r := s.Ordering()
+		if r.QueueDrain != s.ADR() {
+			t.Errorf("%v: QueueDrain=%v but ADR()=%v", s, r.QueueDrain, s.ADR())
+		}
+		if r.LogBeforeData != s.FailureSafe() {
+			t.Errorf("%v: LogBeforeData=%v but FailureSafe()=%v", s, r.LogBeforeData, s.FailureSafe())
+		}
+		if s.FailureSafe() {
+			if r.CommitLag != 1 {
+				t.Errorf("%v: CommitLag=%d, want 1 (one in-flight commit)", s, r.CommitLag)
+			}
+			if !r.DetectsCorruption {
+				t.Errorf("%v: failure-safe scheme must declare DetectsCorruption", s)
+			}
+			if !r.ExpectSafe(false) {
+				t.Errorf("%v: failure-safe scheme must be safe under a clean cut", s)
+			}
+			if r.ExpectSafe(true) != !r.QueueDrain {
+				t.Errorf("%v: ExpectSafe(queuesLost) = %v, want %v", s, r.ExpectSafe(true), !r.QueueDrain)
+			}
+		} else if r.ExpectSafe(false) || r.ExpectSafe(true) {
+			t.Errorf("%v: non-failure-safe scheme promises safety", s)
+		}
+	}
+	// Exactly one scheme in the evaluated set flushes through the queues
+	// explicitly (pcommit) and so keeps its promise when ADR fails.
+	var survivors int
+	for _, s := range Schemes {
+		if s.FailureSafe() && !s.Ordering().QueueDrain {
+			survivors++
+		}
+	}
+	if survivors != 1 {
+		t.Errorf("schemes surviving queue loss = %d, want exactly 1 (PMEM+pcommit)", survivors)
+	}
+}

@@ -145,40 +145,63 @@ func (c *Core) popLRFIFO() {
 // log registers, sends flushes to the memory controller (concurrently —
 // the LogQ hides the logging latency, §4.2), and frees entries when the
 // controller acknowledges receipt.
+//
+// Flushes leave for the controller in sequence (program) order. A
+// younger transaction's log-load can complete long before an older one's
+// (its block is already cached by the older transaction's own log-load),
+// and letting its entry become durable first would leave a crash window
+// where the log holds an undo entry whose pre-image is the *volatile*
+// output of an earlier, unlogged transaction — recovery would then
+// "restore" a state that never existed. In-order departure keeps the
+// durable log a program-order prefix, which is exactly the invariant the
+// §4.3 descending-chain recovery walk relies on.
 func (c *Core) tickLogQ(now uint64) {
 	if c.lqCount == 0 {
 		return
 	}
 	for i := range c.logQ {
 		q := &c.logQ[i]
-		if !q.valid {
+		if !q.valid || q.hasData {
 			continue
 		}
-		if !q.hasData {
-			lr := &c.lr[q.lr]
-			if lr.busy && lr.issued && lr.doneAt <= now {
-				q.data = lr.data
-				q.hasData = true
-				// The register is recycled as soon as the LogQ owns the
-				// data — LRs "can be recycled quickly", which is why
-				// eight suffice (§4.2).
-				*lr = lrSlot{}
+		lr := &c.lr[q.lr]
+		if lr.busy && lr.issued && lr.doneAt <= now {
+			q.data = lr.data
+			q.hasData = true
+			// The register is recycled as soon as the LogQ owns the
+			// data — LRs "can be recycled quickly", which is why
+			// eight suffice (§4.2).
+			*lr = lrSlot{}
+		}
+	}
+	for {
+		var next *lqEntry
+		for i := range c.logQ {
+			q := &c.logQ[i]
+			if q.valid && !q.issued && (next == nil || q.seq < next.seq) {
+				next = q
 			}
 		}
-		if q.hasData && !q.issued {
-			arrive := now + c.mcTrip
-			line := logfmt.EncodeProteus(logfmt.ProteusEntry{Data: q.data, From: q.logFrom, Tx: q.tx, Seq: q.seq})
-			if c.lwr {
-				c.mc.LogFlush(arrive, memctrl.LogEntry{
-					Core: c.id, Tx: q.tx, LogTo: q.logTo, Data: line,
-				})
-			} else if !c.mc.WriteLine(arrive, q.logTo, line, stats.WriteLog) {
-				continue // WPQ full; retry next cycle
-			}
-			q.issued = true
-			q.ackAt = arrive + 1 + c.mcTrip
+		// The oldest unissued flush gates all younger ones, whether it is
+		// waiting on its log-load or on WPQ backpressure.
+		if next == nil || !next.hasData {
+			break
 		}
-		if q.issued && q.ackAt <= now {
+		arrive := now + c.mcTrip
+		line := logfmt.EncodeProteus(logfmt.ProteusEntry{Data: next.data, From: next.logFrom, Tx: next.tx, Seq: next.seq})
+		if c.lwr {
+			c.mc.LogFlush(arrive, memctrl.LogEntry{
+				Core: c.id, Tx: next.tx, LogTo: next.logTo, Data: line,
+			})
+		} else if !c.mc.WriteLine(arrive, next.logTo, line, stats.WriteLog) {
+			break // WPQ full; retry next cycle
+		}
+		next.issued = true
+		next.ackAt = arrive + 1 + c.mcTrip
+	}
+	for i := range c.logQ {
+		q := &c.logQ[i]
+		if q.valid && q.issued && q.ackAt <= now {
 			q.valid = false
 			c.lqCount--
 		}

@@ -102,34 +102,40 @@ func ParseFaults(s string) ([]Fault, error) {
 	return out, nil
 }
 
-// expectSafe reports whether the (scheme, fault) combination is expected
-// to satisfy the durable-transaction property. Torn and ADR-loss faults
-// break the ADR guarantee, so only the scheme that never relied on it
-// (PMEM+pcommit) is expected to survive them. FaultCorrupt is never
+// QueuesLost reports whether the fault defeats the platform's ADR drain
+// of the controller queues — torn queue writes and capacitor loss do, a
+// clean cut and log corruption do not.
+func (f Fault) QueuesLost() bool { return f == FaultTorn || f == FaultADRLoss }
+
+// ExpectSafe reports whether the (scheme, fault) combination is expected
+// to satisfy the durable-transaction property, derived from the scheme's
+// declared ordering axioms: torn and ADR-loss faults break the ADR drain,
+// so only a scheme whose rules never relied on it (QueueDrain false,
+// i.e. PMEM+pcommit) is expected to survive them. FaultCorrupt is never
 // "safe" in this sense: its contract is verified-or-detected, which the
 // classifier handles separately.
-func expectSafe(s core.Scheme, f Fault) bool {
-	if !s.FailureSafe() {
+func ExpectSafe(s core.Scheme, f Fault) bool {
+	if !s.FailureSafe() || f == FaultCorrupt {
 		return false
 	}
-	switch f {
-	case FaultClean:
-		return true
-	case FaultTorn, FaultADRLoss:
-		return !s.ADR()
-	}
-	return false
+	return s.Ordering().ExpectSafe(f.QueuesLost())
 }
 
-// appliesTo reports whether injecting the fault into the scheme is
+// expectSafe is the internal spelling predating the exported API.
+func expectSafe(s core.Scheme, f Fault) bool { return ExpectSafe(s, f) }
+
+// AppliesTo reports whether injecting the fault into the scheme is
 // meaningful. ADR loss is a no-op for a scheme whose persistency domain
-// never included the queues.
-func (f Fault) appliesTo(s core.Scheme) bool {
+// never included the queues (QueueDrain false in its ordering rules).
+func (f Fault) AppliesTo(s core.Scheme) bool {
 	if f == FaultADRLoss {
-		return s.ADR()
+		return s.Ordering().QueueDrain
 	}
 	return true
 }
+
+// appliesTo is the internal spelling predating the exported API.
+func (f Fault) appliesTo(s core.Scheme) bool { return f.AppliesTo(s) }
 
 // mix hashes words into a well-distributed 64-bit value (splitmix64
 // finalization). Per-line fault decisions hash (seed, line identity)
@@ -247,4 +253,35 @@ func maskTargets(sys *core.System, threads int, f Fault) int {
 		return len(logLines(sys.CrashImage(), threads))
 	}
 	return 0
+}
+
+// Injection is an exported fault-application handle for other harnesses
+// (the litmus sweep) that drive their own crash-point schedules through
+// the campaign's fault machinery. Seed feeds the same stateless per-line
+// randomness the campaign uses; Mask, when non-nil, restricts the fault
+// to the listed target indexes exactly as the minimizer's masks do.
+type Injection struct {
+	Fault Fault
+	Seed  uint64
+	Mask  []int
+}
+
+// Apply extracts the crash image the injection leaves behind at the
+// system's current state. The system is not advanced or mutated.
+func (in Injection) Apply(sys *core.System, threads int) *nvm.Store {
+	return buildImage(sys, threads, injection{fault: in.Fault, seed: in.Seed, mask: in.Mask})
+}
+
+// Targets returns the size of the fault's target universe at the system's
+// current state — the index space a Mask selects from (pending lines for
+// torn, materialized log lines for corrupt, 0 for the rest).
+func (in Injection) Targets(sys *core.System, threads int) int {
+	return maskTargets(sys, threads, in.Fault)
+}
+
+// InjectionSeed derives a deterministic per-injection fault seed from a
+// campaign seed and the injection's identity, exactly as the campaign
+// does internally.
+func InjectionSeed(campaignSeed int64, parts ...string) uint64 {
+	return seedFor(campaignSeed, parts...)
 }

@@ -1,0 +1,130 @@
+package litmus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/crashcampaign"
+	"repro/internal/nvm"
+	"repro/internal/recovery"
+)
+
+// modelStates computes, from the program AST alone (deliberately not
+// from the heap recording, so the checker is independent of the
+// compilation path), thread t's variable values after each whole number
+// of its transactions: states[m][v] is variable v after m transactions,
+// m = 0..len(txns).
+func modelStates(p Program, t int) [][2]uint64 {
+	cur := [2]uint64{initVal(t, 0), initVal(t, 1)}
+	states := [][2]uint64{cur}
+	pos := 0
+	for _, txn := range p.Threads[t].Txns() {
+		for _, v := range txn {
+			cur[v] = storeVal(t, pos)
+			pos++
+		}
+		states = append(states, cur)
+	}
+	return states
+}
+
+// checker evaluates recovered images of one compiled (program, scheme)
+// pair against the scheme's ordering axioms.
+type checker struct {
+	prog   Program
+	scheme core.Scheme
+	rules  core.OrderingRules
+	addrs  [][2]uint64
+	// states[t][m] is thread t's model state after m whole transactions.
+	states [][][2]uint64
+}
+
+func newChecker(c *Compiled, scheme core.Scheme) *checker {
+	ck := &checker{
+		prog:   c.Prog,
+		scheme: scheme,
+		rules:  scheme.Ordering(),
+		addrs:  c.Addrs,
+	}
+	for t := range c.Prog.Threads {
+		ck.states = append(ck.states, modelStates(c.Prog, t))
+	}
+	return ck
+}
+
+// permitted checks the recovered image against the axioms: for every
+// thread t the recovered variable values must equal the model state
+// after m whole transactions for some m in [committed[t],
+// committed[t]+CommitLag] (clamped to the thread's transaction count) —
+// transaction atomicity plus the declared commit lag, checked exactly.
+// Threads own disjoint variables, so each is checked independently. The
+// returned detail describes the first violation.
+func (ck *checker) permitted(img *nvm.Store, committed []int) error {
+	for t := range ck.states {
+		got := [2]uint64{img.ReadUint64(ck.addrs[t][0]), img.ReadUint64(ck.addrs[t][1])}
+		lo := committed[t]
+		hi := lo + ck.rules.CommitLag
+		if max := len(ck.states[t]) - 1; hi > max {
+			hi = max
+		}
+		ok := false
+		for m := lo; m <= hi; m++ {
+			if ck.states[t][m] == got {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("thread %d: recovered x=%#x y=%#x matches no whole-transaction state in window [%d,%d] of %s",
+				t, got[0], got[1], lo, hi, ck.describe(t))
+		}
+	}
+	return nil
+}
+
+// describe renders thread t's permitted model states for diagnostics.
+func (ck *checker) describe(t int) string {
+	var b strings.Builder
+	for m, st := range ck.states[t] {
+		if m > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "m=%d:(%#x,%#x)", m, st[0], st[1])
+	}
+	return b.String()
+}
+
+// classify runs the scheme's recovery over the crash image and maps the
+// axiomatic membership check through the expectation matrix, mirroring
+// the crash campaign's outcome taxonomy: Failed marks a divergence
+// between the simulator+recovery and the declared axioms.
+func (ck *checker) classify(img *nvm.Store, fault crashcampaign.Fault, committed []int) (crashcampaign.Outcome, string) {
+	threads := len(ck.prog.Threads)
+	_, rerr := recovery.Recover(img, ck.scheme, threads)
+	if rerr != nil {
+		if !recovery.IsDetectedCorruption(rerr) {
+			return crashcampaign.OutcomeFailed, "recovery error: " + rerr.Error()
+		}
+		if fault == crashcampaign.FaultClean || crashcampaign.ExpectSafe(ck.scheme, fault) {
+			return crashcampaign.OutcomeFailed, "corruption detected in expected-safe run: " + rerr.Error()
+		}
+		if !ck.rules.DetectsCorruption {
+			return crashcampaign.OutcomeFailed, "scheme declares no corruption detection yet reported: " + rerr.Error()
+		}
+		return crashcampaign.OutcomeDetected, rerr.Error()
+	}
+	if err := ck.permitted(img, committed); err != nil {
+		switch {
+		case crashcampaign.ExpectSafe(ck.scheme, fault):
+			return crashcampaign.OutcomeFailed, err.Error()
+		case fault == crashcampaign.FaultCorrupt && ck.scheme.FailureSafe():
+			// Recovery silently accepted a corrupted log: the outcome the
+			// DetectsCorruption axiom forbids.
+			return crashcampaign.OutcomeFailed, "silent corruption accepted: " + err.Error()
+		default:
+			return crashcampaign.OutcomeVulnerable, err.Error()
+		}
+	}
+	return crashcampaign.OutcomeVerified, ""
+}

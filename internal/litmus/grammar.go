@@ -1,0 +1,94 @@
+package litmus
+
+import "sort"
+
+// minStores/maxStores bound the template grammar: every program has 2–4
+// persistent stores in total.
+const (
+	minStores = 2
+	maxStores = 4
+)
+
+// threadConfigs enumerates every ThreadProg with exactly k stores: all
+// 2^k variable assignments crossed with the k ways to partition the
+// stores into one or two transactions.
+func threadConfigs(k int) []ThreadProg {
+	var out []ThreadProg
+	for bits := 0; bits < 1<<k; bits++ {
+		vars := make([]int, k)
+		for i := range vars {
+			vars[i] = (bits >> i) & 1
+		}
+		// Cut == k is the single-transaction form; 1..k-1 are the
+		// two-transaction splits.
+		for cut := 1; cut <= k; cut++ {
+			out = append(out, ThreadProg{Vars: vars, Cut: cut})
+		}
+	}
+	return out
+}
+
+// Enumerate returns the full grammar: every 1- and 2-thread program with
+// 2–4 stores in total, under both layouts, sorted by canonical name.
+// Two-thread programs whose threads are swapped copies of each other are
+// behaviourally isomorphic (threads own disjoint variables on a
+// symmetric machine), so only the canonically ordered representative is
+// kept. The result is deterministic: same list, same order, every call.
+func Enumerate() []Program {
+	var progs []Program
+	for _, layout := range []Layout{LayoutSame, LayoutCross} {
+		// Single-thread programs: k = 2..4 stores.
+		for k := minStores; k <= maxStores; k++ {
+			for _, tc := range threadConfigs(k) {
+				progs = append(progs, Program{Layout: layout, Threads: []ThreadProg{tc}})
+			}
+		}
+		// Two-thread programs: k0 + k1 <= 4, each thread at least one
+		// store, deduplicated up to thread swap.
+		for k0 := 1; k0 < maxStores; k0++ {
+			for k1 := k0; k0+k1 <= maxStores; k1++ {
+				for _, tc0 := range threadConfigs(k0) {
+					for _, tc1 := range threadConfigs(k1) {
+						if k0 == k1 && tc1.encode() < tc0.encode() {
+							continue // swapped copy of a kept program
+						}
+						progs = append(progs, Program{Layout: layout, Threads: []ThreadProg{tc0, tc1}})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(progs, func(i, j int) bool { return progs[i].Name() < progs[j].Name() })
+	return progs
+}
+
+// Curated returns the fast CI subset: a handful of programs chosen to
+// cover each (store count, thread count, transaction split, layout)
+// class — intra-line and cross-line write pairs, single- and two-txn
+// threads, and both two-thread shapes — so the smoke gate exercises
+// every scheme's ordering machinery in well under a minute.
+func Curated() []Program {
+	names := []string{
+		"Ps:xy",     // one txn, both vars, same line
+		"Pc:xy",     // one txn, both vars, cross line
+		"Ps:x;y",    // two txns, same line
+		"Pc:x;y",    // two txns, cross line
+		"Ps:xx;y",   // overwrite then second txn
+		"Pc:xyx;y",  // 4 stores, revisit across txns
+		"Ps:xy;xy",  // two full txns, same line
+		"Pc:x|y",    // two threads, one store each
+		"Ps:x|y",    // two threads sharing a line layout
+		"Pc:xy|x;y", // thread 0 one txn, thread 1 two txns
+		"Ps:x;x|y",  // overwrites split across txns, plus a peer
+		"Pc:xx|yy",  // two threads, repeated stores
+	}
+	out := make([]Program, 0, len(names))
+	for _, n := range names {
+		p, err := Parse(n)
+		if err != nil {
+			panic("litmus: bad curated program " + n + ": " + err.Error())
+		}
+		out = append(out, p)
+	}
+	return out
+}

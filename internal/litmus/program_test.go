@@ -1,0 +1,149 @@
+package litmus
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// The grammar is closed form: per layout, single-thread programs
+// contribute sum_{k=2..4} 2^k*k = 8+24+64 = 96, and two-thread programs
+// with k0 <= k1, k0+k1 <= 4 contribute (1,1): 2*2 with swap dedup -> 3,
+// (1,2): 2*8 = 16, (1,3): 2*24 = 48, (2,2): 8*8 with swap dedup -> 36,
+// for 103; (96+103)*2 layouts = 398.
+func TestEnumerateCountAndRoundtrip(t *testing.T) {
+	progs := Enumerate()
+	if len(progs) != 398 {
+		t.Fatalf("Enumerate() returned %d programs, want 398", len(progs))
+	}
+	seen := make(map[string]bool)
+	for _, p := range progs {
+		name := p.Name()
+		if seen[name] {
+			t.Fatalf("duplicate program %q", name)
+		}
+		seen[name] = true
+		got, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		if got.Name() != name {
+			t.Fatalf("Parse(%q).Name() = %q", name, got.Name())
+		}
+		if n := p.Stores(); n < minStores || n > maxStores {
+			t.Fatalf("program %q has %d stores, want %d..%d", name, n, minStores, maxStores)
+		}
+	}
+}
+
+func TestEnumerateIsDeterministic(t *testing.T) {
+	a, b := Enumerate(), Enumerate()
+	for i := range a {
+		if a[i].Name() != b[i].Name() {
+			t.Fatalf("Enumerate() order differs at %d: %q vs %q", i, a[i].Name(), b[i].Name())
+		}
+	}
+}
+
+func TestEnumerateDedupsSwappedThreads(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, p := range Enumerate() {
+		seen[p.Name()] = true
+	}
+	for name := range seen {
+		p, err := Parse(name)
+		if err != nil || len(p.Threads) != 2 {
+			continue
+		}
+		if len(p.Threads[0].Vars) != len(p.Threads[1].Vars) {
+			continue
+		}
+		swapped := Program{Layout: p.Layout, Threads: []ThreadProg{p.Threads[1], p.Threads[0]}}
+		if sn := swapped.Name(); sn != name && seen[sn] {
+			t.Fatalf("both %q and its thread-swap %q are enumerated", name, sn)
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"", "xy", "Pz:xy", "Ps:", "Ps:x", "Ps:abc", "Ps:;xy", "Ps:xy;",
+		"Ps:x;y;x", "Ps:x|y|x", "Ps:xyxyx", "Ps:xy|xyx", "Ps:|xy",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestCuratedParses(t *testing.T) {
+	progs := Curated()
+	if len(progs) == 0 {
+		t.Fatal("Curated() is empty")
+	}
+	one, two := false, false
+	for _, p := range progs {
+		switch len(p.Threads) {
+		case 1:
+			one = true
+		case 2:
+			two = true
+		}
+	}
+	if !one || !two {
+		t.Fatalf("curated subset must cover both thread counts (one=%v two=%v)", one, two)
+	}
+}
+
+func TestCompileLayoutsAndInit(t *testing.T) {
+	for _, name := range []string{"Ps:xy|yx", "Pc:xy|yx"} {
+		p, err := Parse(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := p.Compile()
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", name, err)
+		}
+		for tid, a := range c.Addrs {
+			x, y := a[0], a[1]
+			if p.Layout == LayoutSame {
+				if isa.LineAddr(x) != isa.LineAddr(y) {
+					t.Fatalf("%s thread %d: same-line layout got lines %#x / %#x", name, tid, x, y)
+				}
+				if y != x+isa.LogBlockSize {
+					t.Fatalf("%s thread %d: want y = x+%d, got x=%#x y=%#x", name, tid, isa.LogBlockSize, x, y)
+				}
+			} else if isa.LineAddr(x) == isa.LineAddr(y) {
+				t.Fatalf("%s thread %d: cross-line layout got one line %#x", name, tid, isa.LineAddr(x))
+			}
+			if got := c.WL.InitImage.ReadUint64(x); got != initVal(tid, 0) {
+				t.Fatalf("%s thread %d: init x = %#x, want %#x", name, tid, got, initVal(tid, 0))
+			}
+			if got := c.WL.InitImage.ReadUint64(y); got != initVal(tid, 1) {
+				t.Fatalf("%s thread %d: init y = %#x, want %#x", name, tid, got, initVal(tid, 1))
+			}
+		}
+	}
+}
+
+func TestModelStates(t *testing.T) {
+	p, err := Parse("Ps:xyx;y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := modelStates(p, 0)
+	want := [][2]uint64{
+		{initVal(0, 0), initVal(0, 1)},
+		{storeVal(0, 2), storeVal(0, 1)}, // after txn 1: x<-s0, y<-s1, x<-s2
+		{storeVal(0, 2), storeVal(0, 3)}, // after txn 2: y<-s3
+	}
+	if len(states) != len(want) {
+		t.Fatalf("modelStates returned %d states, want %d", len(states), len(want))
+	}
+	for m := range want {
+		if states[m] != want[m] {
+			t.Fatalf("state[%d] = %#x, want %#x", m, states[m], want[m])
+		}
+	}
+}

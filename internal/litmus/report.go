@@ -1,0 +1,103 @@
+package litmus
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/crashcampaign"
+)
+
+// Divergence is one simulator/axiom disagreement: an injection the
+// expectation matrix classified as failed. Only the earliest divergent
+// cycle per (case, fault) is recorded in full (with its shrunken mask
+// and reproducer); later cycles of the same fault are tallied in the
+// case counters.
+type Divergence struct {
+	Fault string `json:"fault"`
+	// Cycle is the earliest cycle whose persist state diverges — the
+	// sweep classifies states in cycle order, so the first hit is the
+	// minimum.
+	Cycle  uint64 `json:"cycle"`
+	Detail string `json:"detail,omitempty"`
+	// Targets is the fault's target universe size at the divergent cycle;
+	// Mask is the shrunken subset that still diverges (absent for faults
+	// without a mask).
+	Targets int   `json:"targets,omitempty"`
+	Mask    []int `json:"mask,omitempty"`
+	// Artifact is the reproducer directory (when the sweep ran with one);
+	// Repro is the ready-to-run replay command.
+	Artifact string `json:"artifact,omitempty"`
+	Repro    string `json:"repro,omitempty"`
+}
+
+// CaseReport is the sweep result for one (program, scheme) pair.
+type CaseReport struct {
+	Program string `json:"program"`
+	Scheme  string `json:"scheme"`
+	// TotalCycles is the full run length; States counts the distinct
+	// persist states the sweep classified (the representatives of the
+	// per-cycle signature dedup).
+	TotalCycles uint64       `json:"total_cycles"`
+	States      int          `json:"states"`
+	Injections  int          `json:"injections"`
+	Verified    int          `json:"verified"`
+	Detected    int          `json:"detected"`
+	Vulnerable  int          `json:"vulnerable"`
+	Failed      int          `json:"failed"`
+	Divergences []Divergence `json:"divergences,omitempty"`
+}
+
+func (c *CaseReport) count(o crashcampaign.Outcome) {
+	c.Injections++
+	switch o {
+	case crashcampaign.OutcomeVerified:
+		c.Verified++
+	case crashcampaign.OutcomeDetected:
+		c.Detected++
+	case crashcampaign.OutcomeVulnerable:
+		c.Vulnerable++
+	case crashcampaign.OutcomeFailed:
+		c.Failed++
+	}
+}
+
+// Totals aggregates the suite.
+type Totals struct {
+	Cases       int `json:"cases"`
+	Injections  int `json:"injections"`
+	Verified    int `json:"verified"`
+	Detected    int `json:"detected"`
+	Vulnerable  int `json:"vulnerable"`
+	Failed      int `json:"failed"`
+	Divergences int `json:"divergences"`
+}
+
+// Info records the suite's inputs so a report is self-describing.
+type Info struct {
+	Seed              int64    `json:"seed"`
+	Programs          int      `json:"programs"`
+	Schemes           []string `json:"schemes"`
+	Faults            []string `json:"faults"`
+	ConfigFingerprint string   `json:"config_fingerprint"`
+}
+
+// Report is the suite result. It contains no wall-clock or
+// order-of-completion data: marshaling it is byte-identical for the same
+// (config, seed) at any worker count and under either stepper.
+type Report struct {
+	Suite  Info         `json:"suite"`
+	Cases  []CaseReport `json:"cases"`
+	Totals Totals       `json:"totals"`
+}
+
+// WriteJSON writes the canonical (indented, newline-terminated) report
+// encoding — the bytes the determinism guarantee is stated over.
+func (r *Report) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -68,6 +68,10 @@ type Controller struct {
 	nextRetire uint64 // min doneAt over issued entries (valid when issuedN > 0)
 	readsMin   uint64 // min completion over outstanding reads (valid when len(reads) > 0)
 
+	// storeWrites counts functional-store mutations (every c.store.Write),
+	// folding the store's state into PersistSig without hashing it.
+	storeWrites uint64
+
 	atomScratch map[uint64]bool // reusable AtomTxEnd cancellation set
 }
 
@@ -86,6 +90,13 @@ func New(cfg config.Mem, dev *nvm.Device, store *nvm.Store, st *stats.Mem) *Cont
 		reads:       make([]uint64, 0, cfg.ReadQ),
 		atomScratch: make(map[uint64]bool),
 	}
+}
+
+// storeWrite applies data to the functional store, counting the mutation
+// for PersistSig.
+func (c *Controller) storeWrite(addr uint64, data []byte) {
+	c.storeWrites++
+	c.store.Write(addr, data)
 }
 
 // Device returns the attached device (for endurance accounting).
@@ -304,7 +315,7 @@ func (c *Controller) retirePass(now uint64) {
 	c.nextRetire = ^uint64(0)
 	for _, e := range c.wpq {
 		if e.issued && e.doneAt <= now {
-			c.store.Write(e.addr, e.data[:])
+			c.storeWrite(e.addr, e.data[:])
 			if c.st != nil {
 				c.st.WPQDrained++
 				if e.doneAt > e.arrived {
@@ -528,7 +539,7 @@ func (c *Controller) DrainLog(now uint64, core int, tx uint32) {
 	for _, e := range c.lpq {
 		if e.Core == core && e.Tx == tx {
 			c.dev.Access(now, e.LogTo, true, stats.WriteLog)
-			c.store.Write(e.LogTo, e.Data[:])
+			c.storeWrite(e.LogTo, e.Data[:])
 			if c.st != nil {
 				c.st.LPQDrained++
 			}
@@ -610,7 +621,7 @@ func (c *Controller) AtomTxEnd(now uint64, core int, tx uint32, logEntries []uin
 			// that bounds ATOM's benefits to its available resources,
 			// §4.3).
 			tracked--
-			c.store.Write(isa.LineAddr(a), zero[:])
+			c.storeWrite(isa.LineAddr(a), zero[:])
 			continue
 		}
 		// Beyond the tracking capacity: search the log area (a read) and
@@ -618,9 +629,50 @@ func (c *Controller) AtomTxEnd(now uint64, core int, tx uint32, logEntries []uin
 		c.dev.Access(now, a, false, stats.WriteData)
 		if !c.WriteLine(now, a, zero, stats.WriteTruncate) {
 			c.dev.Access(now, a, true, stats.WriteTruncate)
-			c.store.Write(isa.LineAddr(a), zero[:])
+			c.storeWrite(isa.LineAddr(a), zero[:])
 		}
 	}
+}
+
+// PersistSig summarizes everything a power failure at this instant could
+// leave on NVM: the functional store's mutation count plus the pending
+// WPQ and LPQ contents (address, data, issued flag) in acceptance order.
+// Two cycles with equal signatures yield byte-identical crash images
+// under every CrashFault, so an exhaustive crash-point sweep can classify
+// one representative per signature and skip the cycles in between. FNV-1a
+// over the raw bytes keeps the value stable across runs and platforms.
+func (c *Controller) PersistSig() uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	w64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ uint64(byte(v>>(8*i)))) * prime
+		}
+	}
+	bytes := func(b []byte) {
+		for _, x := range b {
+			h = (h ^ uint64(x)) * prime
+		}
+	}
+	w64(c.storeWrites)
+	w64(uint64(len(c.wpq)))
+	for i := range c.wpq {
+		e := &c.wpq[i]
+		w64(e.addr)
+		if e.issued {
+			w64(1)
+		} else {
+			w64(0)
+		}
+		bytes(e.data[:])
+	}
+	w64(uint64(len(c.lpq)))
+	for i := range c.lpq {
+		e := &c.lpq[i]
+		w64(e.LogTo)
+		bytes(e.Data[:])
+	}
+	return h
 }
 
 // ------------------------------------------------------------ crash image

@@ -9,8 +9,12 @@ import (
 // directory followed by os.Rename, so readers never observe a partially
 // written file and an interrupted writer never leaves truncated content
 // at the destination. The temporary file is fsynced before the rename,
-// making the publish durable on its own; a stale temp file from a crash
-// is harmless — it is never the destination name.
+// and the parent directory is fsynced after it: renaming updates a
+// directory entry, and on a host crash an unsynced directory can lose
+// the entry even though the file's blocks are on disk — the published
+// result would silently vanish. Only after both syncs is the publish
+// durable. A stale temp file from a crash is harmless — it is never the
+// destination name.
 func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	dir, base := filepath.Split(path)
 	if dir == "" {
@@ -43,5 +47,20 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 		os.Remove(name)
 		return err
 	}
-	return nil
+	return syncDir(dir)
+}
+
+// syncDir fsyncs the directory holding a just-renamed file so the new
+// directory entry survives a host crash. Stubbed in tests to verify the
+// crash contract.
+var syncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
 }

@@ -167,6 +167,42 @@ func TestAtomicWriteLeavesNoTempFiles(t *testing.T) {
 	}
 }
 
+// TestAtomicWriteSyncsParentDir pins the crash contract of the publish
+// step: the parent directory must be fsynced after the rename (not
+// before), otherwise a host crash can drop the freshly renamed entry and
+// the published result vanishes even though its blocks were synced. The
+// test also checks a directory-sync failure is reported to the caller
+// rather than swallowed.
+func TestAtomicWriteSyncsParentDir(t *testing.T) {
+	orig := syncDir
+	defer func() { syncDir = orig }()
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+
+	var synced []string
+	syncDir = func(d string) error {
+		// The rename must already be visible when the directory is synced;
+		// syncing first would make the fsync cover the pre-rename state.
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("dir fsync ran before rename was visible: %v", err)
+		}
+		synced = append(synced, filepath.Clean(d))
+		return orig(d)
+	}
+	if err := WriteFileAtomic(path, []byte("published"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 1 || synced[0] != filepath.Clean(dir) {
+		t.Fatalf("directory fsyncs = %q, want exactly one of %q", synced, dir)
+	}
+
+	syncDir = func(string) error { return fmt.Errorf("injected dir fsync failure") }
+	if err := WriteFileAtomic(path, []byte("later"), 0o644); err == nil {
+		t.Fatal("WriteFileAtomic swallowed the directory fsync error")
+	}
+}
+
 // TestConcurrentMultiProcessWriters models the cluster deployment: several
 // store handles on one shared directory (as separate worker processes
 // would have) racing to publish the same fingerprint while readers load it

@@ -544,8 +544,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// retryAfterSeconds renders d as a whole-second Retry-After value,
+// rounding up: advertising the floor of a 2.9s window invites clients
+// back 900ms early into a still-full queue.
 func retryAfterSeconds(d time.Duration) string {
-	secs := int(d / time.Second)
+	secs := int((d + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}

@@ -547,3 +547,27 @@ func TestClusterSimThroughServe(t *testing.T) {
 		}
 	}
 }
+
+// TestRetryAfterSecondsRoundsUp pins the Retry-After ceiling: flooring a
+// 2.9s window advertises "2" and invites clients back 900ms early into a
+// queue that is, by the server's own estimate, still full.
+func TestRetryAfterSecondsRoundsUp(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},
+		{-time.Second, "1"},
+		{300 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1001 * time.Millisecond, "2"},
+		{2900 * time.Millisecond, "3"},
+		{3 * time.Second, "3"},
+		{59*time.Second + time.Nanosecond, "60"},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.d); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

@@ -33,6 +33,10 @@ const (
 	BTree
 	RBTree
 	LinkedList // Table 3 microbenchmark
+	// Litmus marks hand-assembled litmus-test workloads (internal/litmus)
+	// built directly from heap recordings rather than by Build; it is not
+	// part of the benchmark tables.
+	Litmus
 )
 
 // Abbrev returns the paper's benchmark abbreviation.
@@ -52,6 +56,8 @@ func (k Kind) Abbrev() string {
 		return "RT"
 	case LinkedList:
 		return "LL"
+	case Litmus:
+		return "LT"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
