@@ -1,0 +1,106 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+
+	"repro/internal/resultstore"
+)
+
+// FS is a fault-injecting resultstore.FS. Every fault it injects is one
+// the result store must survive: torn writes and bit flips are caught
+// by the store's digest verification (quarantine → re-simulate), ENOSPC
+// and fsync failures surface as Store errors the engine drops, and a
+// crashed rename simply never publishes — the atomic-write contract
+// means no reader ever sees the partial state.
+type FS struct {
+	inner resultstore.FS
+	in    *Injector
+}
+
+// NewFS wraps the real filesystem with the injector's disk faults.
+func NewFS(in *Injector) *FS { return WrapFS(resultstore.OSFS(), in) }
+
+// WrapFS wraps an arbitrary FS (so shims can nest).
+func WrapFS(inner resultstore.FS, in *Injector) *FS {
+	return &FS{inner: inner, in: in}
+}
+
+// ReadFile reads through, then possibly flips one random bit of the
+// payload — modeling media decay or a misdirected DMA that ECC missed.
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	data, err := f.inner.ReadFile(name)
+	if err != nil || len(data) == 0 {
+		return data, err
+	}
+	if f.in.Roll("fs.bitflip", f.in.conf.BitFlip) {
+		bit := f.in.Intn(len(data) * 8)
+		flipped := append([]byte(nil), data...) // never alias a page cache buffer
+		flipped[bit/8] ^= 1 << (bit % 8)
+		return flipped, nil
+	}
+	return data, err
+}
+
+func (f *FS) MkdirAll(path string, perm os.FileMode) error { return f.inner.MkdirAll(path, perm) }
+func (f *FS) Remove(name string) error                     { return f.inner.Remove(name) }
+
+// Rename is the publish step; a crash-before-rename fault means the
+// process died after fsyncing the temp file but before the rename — the
+// destination is untouched and the writer sees the failure.
+func (f *FS) Rename(oldpath, newpath string) error {
+	if f.in.Roll("fs.crash_rename", f.in.conf.CrashRename) {
+		return fmt.Errorf("chaos: crash before rename of %s", newpath)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// SyncDir can fail like any fsync.
+func (f *FS) SyncDir(dir string) error {
+	if f.in.Roll("fs.sync_fail", f.in.conf.SyncFail) {
+		return fmt.Errorf("chaos: injected directory fsync failure: %w", syscall.EIO)
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// CreateTemp hands out fault-wrapped file handles.
+func (f *FS) CreateTemp(dir, pattern string) (resultstore.File, error) {
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{File: file, in: f.in}, nil
+}
+
+// chaosFile injects write-path faults on one handle.
+type chaosFile struct {
+	resultstore.File
+	in *Injector
+}
+
+// Write may fail with ENOSPC, or — the nastiest fault — persist only a
+// prefix while reporting full success, the way a lying controller or a
+// torn page acknowledges a write that never fully landed. The torn
+// write is only detectable later, by the store's digest check.
+func (c *chaosFile) Write(p []byte) (int, error) {
+	if c.in.Roll("fs.enospc", c.in.conf.ENOSPC) {
+		return 0, fmt.Errorf("chaos: injected ENOSPC: %w", syscall.ENOSPC)
+	}
+	if len(p) > 1 && c.in.Roll("fs.torn_write", c.in.conf.TornWrite) {
+		keep := 1 + c.in.Intn(len(p)-1) // strictly short, never empty
+		if _, err := c.File.Write(p[:keep]); err != nil {
+			return 0, err
+		}
+		return len(p), nil // the lie: full success reported
+	}
+	return c.File.Write(p)
+}
+
+// Sync may fail the way a real fsync does under a dying device.
+func (c *chaosFile) Sync() error {
+	if c.in.Roll("fs.sync_fail", c.in.conf.SyncFail) {
+		return fmt.Errorf("chaos: injected fsync failure: %w", syscall.EIO)
+	}
+	return c.File.Sync()
+}

@@ -1,0 +1,112 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// netError is the transport-level failure the drop fault surfaces; it
+// implements net.Error so retry classifiers treat it like any other
+// connection error.
+type netError struct{ msg string }
+
+func (e *netError) Error() string   { return e.msg }
+func (e *netError) Timeout() bool   { return false }
+func (e *netError) Temporary() bool { return true }
+
+// RoundTripper injects network faults between an HTTP client and its
+// real transport: dropped connections (a transport error with no
+// response), added latency, duplicated deliveries (the request reaches
+// the server twice — retries and at-least-once networks do this), and
+// synthesized 503s (an overloaded proxy answering for a healthy
+// backend). The worker protocol must absorb all four: drops and 5xx are
+// retried with backoff, duplicates are idempotent or dropped as stale
+// by the coordinator, and latency only stretches leases.
+type RoundTripper struct {
+	inner http.RoundTripper
+	in    *Injector
+}
+
+// NewRoundTripper wraps the default transport with the injector's
+// network faults.
+func NewRoundTripper(in *Injector) *RoundTripper {
+	return WrapRoundTripper(http.DefaultTransport, in)
+}
+
+// WrapRoundTripper wraps an arbitrary transport.
+func WrapRoundTripper(inner http.RoundTripper, in *Injector) *RoundTripper {
+	return &RoundTripper{inner: inner, in: in}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	conf := t.in.conf
+	if t.in.Roll("http.drop", conf.Drop) {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &netError{fmt.Sprintf("chaos: connection to %s dropped", req.URL.Host)}
+	}
+	if t.in.Roll("http.delay", conf.Delay) {
+		d := time.Duration(t.in.Intn(int(conf.MaxDelay)))
+		select {
+		case <-time.After(d):
+		case <-req.Context().Done():
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, req.Context().Err()
+		}
+	}
+	if t.in.Roll("http.5xx", conf.ServerError) {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return synthesized(req, http.StatusServiceUnavailable,
+			`{"error":"chaos: injected server error"}`), nil
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	// Duplicate delivery: the first response is discarded unread (as a
+	// client that timed out and retried would have), the replay's
+	// response is what the caller sees. Requires a replayable body.
+	if (req.Body == nil || req.GetBody != nil) && t.in.Roll("http.dup", conf.Dup) {
+		replay := req.Clone(req.Context())
+		if req.GetBody != nil {
+			body, berr := req.GetBody()
+			if berr != nil {
+				return resp, nil
+			}
+			replay.Body = body
+		}
+		resp2, err2 := t.inner.RoundTrip(replay)
+		if err2 != nil {
+			// The duplicate got lost; the original response stands.
+			return resp, nil
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp2, nil
+	}
+	return resp, nil
+}
+
+// synthesized fabricates a minimal, well-formed HTTP response.
+func synthesized(req *http.Request, code int, body string) *http.Response {
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", code, http.StatusText(code)),
+		StatusCode:    code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"application/json"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}

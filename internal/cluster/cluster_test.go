@@ -117,7 +117,7 @@ func runClusterCampaign(t *testing.T, workers int, killOne bool) ([]byte, Stats)
 		leased := make(chan struct{})
 		var once sync.Once
 		victim := newTestWorker("victim", ts.URL, 3)
-		victim.hookLeased = func(items []Item) {
+		victim.Hooks.Leased = func(items []Item) {
 			once.Do(func() {
 				victimCancel()
 				close(leased)
@@ -274,6 +274,11 @@ func TestLeaseExpiryRequeuesAndStaleCompletionIsDropped(t *testing.T) {
 		now:         func() time.Time { return *clock },
 	})
 
+	for _, name := range []string{"w1", "w2"} {
+		if err := co.Register(name); err != nil {
+			t.Fatal(err)
+		}
+	}
 	id := co.Enqueue(KindSim, json.RawMessage(`{}`), "cafe", nil)
 	got, err := co.Lease("w1", 1)
 	if err != nil || len(got) != 1 {
@@ -327,6 +332,9 @@ func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
 		RetryBudget: 3,
 		now:         func() time.Time { return *clock },
 	})
+	if err := co.Register("w1"); err != nil {
+		t.Fatal(err)
+	}
 	id := co.Enqueue(KindSim, json.RawMessage(`{}`), "beef", nil)
 	if got, _ := co.Lease("w1", 1); len(got) != 1 {
 		t.Fatal("lease failed")
@@ -449,6 +457,9 @@ func TestBackoffShiftClampAtHighRetryBudget(t *testing.T) {
 		BackoffMax:  max,
 		now:         func() time.Time { return *clock },
 	})
+	if err := co.Register("w1"); err != nil {
+		t.Fatal(err)
+	}
 	id := co.Enqueue(KindSim, json.RawMessage(`{}`), "feed", nil)
 
 	// Burn attempts 1..30: lease, fail, and skip far past any backoff.

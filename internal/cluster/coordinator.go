@@ -37,6 +37,7 @@ import (
 	"io"
 	"log/slog"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -45,6 +46,14 @@ import (
 // campaign waiting on a quarantined item fails with this error (wrapped
 // with the item id, attempt count and last failure) rather than hanging.
 var ErrQuarantined = errors.New("cluster: item quarantined after retry budget exhausted")
+
+// ErrUnknownWorker rejects lease/heartbeat/complete calls from a worker
+// the coordinator does not know — never registered, or evicted after
+// going silent (typically because the coordinator restarted and lost its
+// membership). The HTTP layer maps it to 409 Conflict; workers react by
+// re-registering and retrying, which is what lets a fleet ride out a
+// coordinator restart without operator help.
+var ErrUnknownWorker = errors.New("cluster: unknown worker")
 
 // ItemState is one work item's lifecycle phase.
 type ItemState string
@@ -114,6 +123,23 @@ type Config struct {
 	// VirtualNodes is the per-worker vnode count on the hash ring;
 	// <= 0 means 64.
 	VirtualNodes int
+	// EvictAfterMissed evicts a worker after this many missed heartbeat
+	// periods (LeaseTTL/3) of silence. It is an alternative spelling of
+	// WorkerTTL and is ignored when WorkerTTL is set explicitly; <= 0
+	// falls back to the WorkerTTL default (3 × LeaseTTL, i.e. 9 missed
+	// heartbeats).
+	EvictAfterMissed int
+	// BackoffJitter spreads requeue backoffs: attempt n waits a duration
+	// drawn from [b×(1−BackoffJitter), b] where b is the clamped
+	// exponential delay, so a batch of items requeued together does not
+	// stampede back in lockstep. 0 means the default 0.2; negative
+	// disables jitter. The draw is a hash of (item, attempt, Seed), not a
+	// shared random stream, so it is identical across runs regardless of
+	// how requeues interleave.
+	BackoffJitter float64
+	// Seed perturbs the deterministic backoff jitter between otherwise
+	// identical deployments.
+	Seed int64
 	// Publish, when non-nil, receives every completed item's kind and
 	// result on the coordinator — the hook the serving layer uses to
 	// write worker-produced simulation results into the shared result
@@ -148,6 +174,8 @@ type Coordinator struct {
 	completed     uint64
 	quarantined   uint64
 	staleReports  uint64
+	evicted       uint64
+	unknownCalls  uint64
 }
 
 // NewCoordinator returns a coordinator with the given configuration.
@@ -156,7 +184,18 @@ func NewCoordinator(conf Config) *Coordinator {
 		conf.LeaseTTL = 10 * time.Second
 	}
 	if conf.WorkerTTL <= 0 {
-		conf.WorkerTTL = 3 * conf.LeaseTTL
+		if conf.EvictAfterMissed > 0 {
+			conf.WorkerTTL = time.Duration(conf.EvictAfterMissed) * (conf.LeaseTTL / 3)
+		} else {
+			conf.WorkerTTL = 3 * conf.LeaseTTL
+		}
+	}
+	if conf.BackoffJitter == 0 {
+		conf.BackoffJitter = 0.2
+	} else if conf.BackoffJitter < 0 {
+		conf.BackoffJitter = 0
+	} else if conf.BackoffJitter > 1 {
+		conf.BackoffJitter = 1
 	}
 	if conf.RetryBudget <= 0 {
 		conf.RetryBudget = 4
@@ -267,13 +306,28 @@ func (c *Coordinator) touchLocked(name string) *workerState {
 	return w
 }
 
+// lookupLocked resolves a known worker, refreshing its liveness. Unlike
+// touchLocked it never creates one: lease, heartbeat and complete calls
+// from unknown workers fail with ErrUnknownWorker, so a worker that
+// outlives the coordinator's memory of it (restart, eviction) is forced
+// back through Register — and onto the hash ring — before it gets work.
+func (c *Coordinator) lookupLocked(name string) (*workerState, error) {
+	if name == "" {
+		return nil, errors.New("cluster: empty worker name")
+	}
+	w, ok := c.workers[name]
+	if !ok {
+		c.unknownCalls++
+		return nil, fmt.Errorf("%w: %q", ErrUnknownWorker, name)
+	}
+	w.lastSeen = c.conf.now()
+	return w, nil
+}
+
 // Lease grants up to max pending items to the worker, preferring items
 // the hash ring places on it and stealing any other available item
 // otherwise. It returns the granted items (possibly none).
 func (c *Coordinator) Lease(workerName string, max int) ([]Item, error) {
-	if workerName == "" {
-		return nil, errors.New("cluster: empty worker name")
-	}
 	if max <= 0 || max > c.conf.MaxBatch {
 		max = c.conf.MaxBatch
 	}
@@ -281,7 +335,9 @@ func (c *Coordinator) Lease(workerName string, max int) ([]Item, error) {
 	defer c.mu.Unlock()
 	now := c.conf.now()
 	c.sweepLocked(now)
-	c.touchLocked(workerName)
+	if _, err := c.lookupLocked(workerName); err != nil {
+		return nil, err
+	}
 
 	var owned, stealable []*item
 	for _, id := range c.order {
@@ -317,14 +373,13 @@ func (c *Coordinator) Lease(workerName string, max int) ([]Item, error) {
 // no longer owns (expired and re-granted elsewhere, or finished), which
 // the worker should abandon.
 func (c *Coordinator) Heartbeat(workerName string, ids []string) (lost []string, err error) {
-	if workerName == "" {
-		return nil, errors.New("cluster: empty worker name")
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.conf.now()
 	c.sweepLocked(now)
-	c.touchLocked(workerName)
+	if _, err := c.lookupLocked(workerName); err != nil {
+		return nil, err
+	}
 	for _, id := range ids {
 		it, ok := c.items[id]
 		if !ok || it.state != ItemLeased || it.worker != workerName {
@@ -345,7 +400,11 @@ func (c *Coordinator) Complete(workerName, id string, result json.RawMessage, er
 	c.mu.Lock()
 	now := c.conf.now()
 	c.sweepLocked(now)
-	w := c.touchLocked(workerName)
+	w, lerr := c.lookupLocked(workerName)
+	if lerr != nil {
+		c.mu.Unlock()
+		return false, lerr
+	}
 	it, ok := c.items[id]
 	if !ok || it.state != ItemLeased || it.worker != workerName {
 		c.staleReports++
@@ -401,6 +460,14 @@ func (c *Coordinator) requeueLocked(it *item, now time.Time) {
 	if backoff > c.conf.BackoffMax || backoff <= 0 {
 		backoff = c.conf.BackoffMax
 	}
+	// Subtract-only jitter: the wait stays within the clamped exponential
+	// window (tests and capacity planning can still reason about the
+	// ceiling) while a batch of items requeued by one dead worker fans
+	// back out instead of stampeding the next lease call together.
+	if frac := c.conf.BackoffJitter; frac > 0 {
+		backoff -= time.Duration(float64(backoff) * frac *
+			jitter01(it.ID, strconv.Itoa(it.attempts), strconv.FormatInt(c.conf.Seed, 10)))
+	}
 	it.state = ItemPending
 	it.notBefore = now.Add(backoff)
 	c.requeued++
@@ -432,7 +499,8 @@ func (c *Coordinator) sweepLocked(now time.Time) {
 		if now.Sub(w.lastSeen) > c.conf.WorkerTTL {
 			delete(c.workers, name)
 			c.ring.remove(name)
-			c.log.Warn("worker presumed dead", "worker", name)
+			c.evicted++
+			c.log.Warn("worker evicted after missed heartbeats", "worker", name)
 		}
 	}
 }
@@ -479,6 +547,12 @@ type Stats struct {
 	Completed     uint64 `json:"completed"`
 	QuarantinedN  uint64 `json:"quarantined_total"`
 	StaleReports  uint64 `json:"stale_reports"`
+	// WorkersEvicted counts workers dropped from the ring after missing
+	// enough heartbeats; UnknownWorkerCalls counts protocol calls
+	// rejected with ErrUnknownWorker (each one is a worker being pushed
+	// back through registration).
+	WorkersEvicted     uint64 `json:"workers_evicted"`
+	UnknownWorkerCalls uint64 `json:"unknown_worker_calls"`
 
 	Workers []WorkerStats `json:"workers"`
 }
@@ -494,8 +568,10 @@ func (c *Coordinator) Stats() Stats {
 		LeaseExpired:  c.leaseExpired,
 		Requeued:      c.requeued,
 		Completed:     c.completed,
-		QuarantinedN:  c.quarantined,
-		StaleReports:  c.staleReports,
+		QuarantinedN:       c.quarantined,
+		StaleReports:       c.staleReports,
+		WorkersEvicted:     c.evicted,
+		UnknownWorkerCalls: c.unknownCalls,
 	}
 	held := make(map[string]int)
 	for _, id := range c.order {

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -84,7 +85,7 @@ func (c *Coordinator) Handler() http.Handler {
 		}
 		items, err := c.Lease(req.Worker, req.Max)
 		if err != nil {
-			httpErr(w, http.StatusBadRequest, err)
+			httpErr(w, statusFor(err), err)
 			return
 		}
 		httpJSON(w, http.StatusOK, leaseResponse{Items: items, PollMS: (250 * time.Millisecond).Milliseconds()})
@@ -96,7 +97,7 @@ func (c *Coordinator) Handler() http.Handler {
 		}
 		lost, err := c.Heartbeat(req.Worker, req.IDs)
 		if err != nil {
-			httpErr(w, http.StatusBadRequest, err)
+			httpErr(w, statusFor(err), err)
 			return
 		}
 		httpJSON(w, http.StatusOK, heartbeatResponse{Lost: lost})
@@ -108,7 +109,7 @@ func (c *Coordinator) Handler() http.Handler {
 		}
 		accepted, err := c.Complete(req.Worker, req.ID, req.Result, req.Error)
 		if err != nil {
-			httpErr(w, http.StatusBadRequest, err)
+			httpErr(w, statusFor(err), err)
 			return
 		}
 		httpJSON(w, http.StatusOK, completeResponse{Accepted: accepted})
@@ -117,6 +118,17 @@ func (c *Coordinator) Handler() http.Handler {
 		httpJSON(w, http.StatusOK, c.Stats())
 	})
 	return mux
+}
+
+// statusFor maps coordinator errors to HTTP codes. ErrUnknownWorker is
+// 409 Conflict — a protocol-state mismatch the worker repairs by
+// re-registering — so clients can tell it apart from a malformed
+// request's 400, which retrying will never fix.
+func statusFor(err error) int {
+	if errors.Is(err, ErrUnknownWorker) {
+		return http.StatusConflict
+	}
+	return http.StatusBadRequest
 }
 
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {

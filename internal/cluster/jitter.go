@@ -1,0 +1,19 @@
+package cluster
+
+import "hash/fnv"
+
+// jitter01 maps its parts to a pseudo-uniform fraction in [0, 1). It is
+// a hash, not a random stream, on purpose: concurrent callers cannot
+// perturb each other's draws, so the jitter applied to (item, attempt)
+// or (worker, path, attempt) is identical across runs no matter how
+// goroutines interleave — which keeps chaos soaks reproducible while
+// still de-synchronizing retries within one run.
+func jitter01(parts ...string) float64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	// Keep the top 53 bits: the widest integer a float64 holds exactly.
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}

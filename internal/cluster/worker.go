@@ -8,7 +8,10 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
+	"net/url"
+	"strconv"
 	"time"
 
 	"repro/internal/engine"
@@ -39,13 +42,30 @@ type Worker struct {
 	// Logger receives structured worker logs; nil discards.
 	Logger *slog.Logger
 
-	// hookLeased, when non-nil, runs after a non-empty lease before
-	// execution — the test seam that simulates a worker dying while
-	// holding leases (it cancels the worker's context, so nothing
-	// completes and the leases expire).
-	hookLeased func(items []Item)
+	// RetryAttempts bounds how many times one protocol call is tried
+	// before its error surfaces; <= 0 means 6. RetryBase and RetryMax
+	// shape the exponential backoff between tries (defaults 100ms and
+	// 5s); the wait is jittered deterministically by (Name, path,
+	// attempt).
+	RetryAttempts int
+	RetryBase     time.Duration
+	RetryMax      time.Duration
+
+	// Hooks expose fault-injection seams for tests and the chaos soak
+	// runner; all-nil in production.
+	Hooks WorkerHooks
 
 	heartbeatEvery time.Duration
+	pollSeq        int // idle-poll counter feeding the jitter hash
+}
+
+// WorkerHooks are optional observation points on the worker's run loop.
+type WorkerHooks struct {
+	// Leased runs after a non-empty lease, before execution — the seam
+	// that simulates a worker dying while holding leases (cancel the
+	// worker's context here and nothing completes, so the coordinator
+	// must reclaim the batch by lease expiry).
+	Leased func(items []Item)
 }
 
 func (w *Worker) log() *slog.Logger {
@@ -62,8 +82,36 @@ func (w *Worker) client() *http.Client {
 	return w.Client
 }
 
-// post sends one protocol call and decodes the response into out.
-func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+// statusError is a non-200 protocol response; the status code is what
+// the retry classifier keys on.
+type statusError struct {
+	status int
+	msg    string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// transient reports whether a protocol error is worth retrying:
+// transport failures (connection refused, resets, timeouts — all
+// net.Error or url.Error) and 5xx responses are transient; 4xx
+// responses and encode/decode failures are permanent.
+func transient(err error) bool {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.status >= 500
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// postOnce sends one protocol call and decodes the response into out. A
+// 409 surfaces as ErrUnknownWorker (the coordinator forgot us); other
+// non-200s surface as statusError for the retry classifier.
+func (w *Worker) postOnce(ctx context.Context, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
@@ -81,7 +129,11 @@ func (w *Worker) post(ctx context.Context, path string, in, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
-		return fmt.Errorf("cluster: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+		if resp.StatusCode == http.StatusConflict {
+			return fmt.Errorf("%w (%s: %s)", ErrUnknownWorker, path, bytes.TrimSpace(msg))
+		}
+		return &statusError{status: resp.StatusCode,
+			msg: fmt.Sprintf("cluster: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))}
 	}
 	if out == nil {
 		return nil
@@ -89,10 +141,70 @@ func (w *Worker) post(ctx context.Context, path string, in, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// register announces the worker and adopts the coordinator's pacing.
+// post sends one protocol call, retrying transient failures (transport
+// errors, 5xx) with jittered exponential backoff. When the coordinator
+// answers 409 — it restarted, or evicted this worker after missed
+// heartbeats — post re-registers and retries, so a coordinator bounce
+// looks like one slow call instead of a dead worker. Permanent errors
+// return immediately.
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	attempts := w.RetryAttempts
+	if attempts <= 0 {
+		attempts = 6
+	}
+	base := w.RetryBase
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := w.RetryMax
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			backoff := max
+			if shift := attempt - 1; shift < 63 && base<<shift>>shift == base {
+				backoff = base << shift
+			}
+			if backoff > max || backoff <= 0 {
+				backoff = max
+			}
+			backoff -= time.Duration(float64(backoff) * 0.5 *
+				jitter01(w.Name, path, strconv.Itoa(attempt)))
+			if !sleepCtx(ctx, backoff) {
+				return ctx.Err()
+			}
+		}
+		err = w.postOnce(ctx, path, in, out)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		if errors.Is(err, ErrUnknownWorker) && path != "/register" {
+			w.log().Warn("coordinator does not know us; re-registering", "path", path)
+			if rerr := w.register(ctx); rerr != nil {
+				w.log().Warn("re-register failed", "err", rerr.Error())
+			}
+			continue
+		}
+		if !transient(err) {
+			return err
+		}
+		w.log().Warn("transient protocol error, will retry",
+			"path", path, "attempt", attempt+1, "err", err.Error())
+	}
+	return err
+}
+
+// register announces the worker and adopts the coordinator's pacing. It
+// deliberately uses postOnce: post calls register on 409, and the
+// caller (Run's registration loop, or post itself) already retries.
 func (w *Worker) register(ctx context.Context) error {
 	var resp registerResponse
-	if err := w.post(ctx, "/register", registerRequest{Worker: w.Name}, &resp); err != nil {
+	if err := w.postOnce(ctx, "/register", registerRequest{Worker: w.Name}, &resp); err != nil {
 		return err
 	}
 	if resp.HeartbeatMS > 0 {
@@ -153,13 +265,19 @@ func (w *Worker) Run(ctx context.Context) error {
 					poll = 250 * time.Millisecond
 				}
 			}
+			// Stretch each idle poll by up to 50% (hash-jittered, so
+			// deterministic per worker) to keep a fleet that went idle
+			// together from polling the coordinator in lockstep forever.
+			poll += time.Duration(float64(poll) * 0.5 *
+				jitter01(w.Name, "idle-poll", strconv.Itoa(w.pollSeq)))
+			w.pollSeq++
 			if !sleepCtx(ctx, poll) {
 				return ctx.Err()
 			}
 			continue
 		}
-		if w.hookLeased != nil {
-			w.hookLeased(lease.Items)
+		if w.Hooks.Leased != nil {
+			w.Hooks.Leased(lease.Items)
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}

@@ -182,6 +182,11 @@ type Counters struct {
 	// StoreHits counts Run calls answered from the persistent result
 	// store (Config.Store) instead of simulating.
 	StoreHits uint64
+	// StoreErrors counts store Load calls that returned an error —
+	// typically a corrupt or quarantined entry (resultstore's digest
+	// verification). Each one degraded to a miss: the job was
+	// re-simulated and, on success, re-stored, healing the entry.
+	StoreErrors uint64
 }
 
 // JobMetric records one executed simulation for the metrics summary.
@@ -216,6 +221,7 @@ type Engine struct {
 	built     atomic.Uint64
 	failed    atomic.Uint64
 	storeHits atomic.Uint64
+	storeErrs atomic.Uint64
 }
 
 type jobEntry struct {
@@ -251,6 +257,7 @@ func (e *Engine) Counters() Counters {
 		WorkloadsBuilt: e.built.Load(),
 		Failed:         e.failed.Load(),
 		StoreHits:      e.storeHits.Load(),
+		StoreErrors:    e.storeErrs.Load(),
 	}
 }
 
@@ -313,13 +320,18 @@ func (e *Engine) Run(ctx context.Context, j Job) (*Result, error) {
 
 	if e.conf.Store != nil {
 		// Memo miss: consult the persistent store before simulating. A
-		// load error degrades to a miss — the job is re-simulated.
+		// load error — including a corrupt entry the store detected and
+		// quarantined — degrades to a miss: the job is re-simulated and
+		// the successful result re-stored, which is the store's healing
+		// path. The error is counted so /metrics can surface corruption.
 		if res, err := e.conf.Store.Load(j.Fingerprint()); err == nil && res != nil {
 			e.storeHits.Add(1)
 			ent.res = res
 			close(ent.done)
 			e.emit(Event{Job: j, Phase: JobStoreHit})
 			return res, nil
+		} else if err != nil {
+			e.storeErrs.Add(1)
 		}
 	}
 

@@ -16,18 +16,24 @@ import (
 // durable. A stale temp file from a crash is harmless — it is never the
 // destination name.
 func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return writeFileAtomic(osFS{}, path, data, perm)
+}
+
+// writeFileAtomic is WriteFileAtomic over an explicit filesystem — the
+// seam the store threads its (possibly chaos-wrapped) FS through.
+func writeFileAtomic(fsys FS, path string, data []byte, perm os.FileMode) error {
 	dir, base := filepath.Split(path)
 	if dir == "" {
 		dir = "."
 	}
-	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	tmp, err := fsys.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
 		return err
 	}
 	name := tmp.Name()
 	cleanup := func(err error) error {
 		tmp.Close()
-		os.Remove(name)
+		fsys.Remove(name)
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
@@ -40,27 +46,12 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 		return cleanup(err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(name)
+		fsys.Remove(name)
 		return err
 	}
-	if err := os.Rename(name, path); err != nil {
-		os.Remove(name)
+	if err := fsys.Rename(name, path); err != nil {
+		fsys.Remove(name)
 		return err
 	}
-	return syncDir(dir)
-}
-
-// syncDir fsyncs the directory holding a just-renamed file so the new
-// directory entry survives a host crash. Stubbed in tests to verify the
-// crash contract.
-var syncDir = func(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	if err := d.Sync(); err != nil {
-		d.Close()
-		return err
-	}
-	return d.Close()
+	return fsys.SyncDir(dir)
 }

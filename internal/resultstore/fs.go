@@ -1,0 +1,74 @@
+package resultstore
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the narrow filesystem surface the store performs its I/O
+// through. The default implementation (osFS) forwards straight to the
+// os package; internal/chaos substitutes a fault-injecting wrapper so
+// torn writes, bit flips, ENOSPC, fsync failures and crash-before-rename
+// can be rehearsed deterministically against the real store logic. The
+// interface is structural on purpose: an implementation needs no import
+// of this package beyond the File it returns.
+type FS interface {
+	// ReadFile returns the named file's contents.
+	ReadFile(name string) ([]byte, error)
+	// MkdirAll creates a directory path (and parents) if missing.
+	MkdirAll(path string, perm os.FileMode) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Rename atomically moves oldpath to newpath (the publish step).
+	Rename(oldpath, newpath string) error
+	// CreateTemp creates a new temporary file in dir, opened for writing.
+	CreateTemp(dir, pattern string) (File, error)
+	// SyncDir fsyncs a directory so a just-renamed entry survives a host
+	// crash.
+	SyncDir(dir string) error
+}
+
+// File is the writable handle CreateTemp returns; the subset of *os.File
+// the atomic-publish sequence touches.
+type File interface {
+	io.Writer
+	Name() string
+	Chmod(mode os.FileMode) error
+	Sync() error
+	Close() error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OSFS returns the store's default, real filesystem implementation —
+// the identity layer chaos wrappers nest around.
+func OSFS() FS { return osFS{} }
+
+func (osFS) ReadFile(name string) ([]byte, error)           { return os.ReadFile(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error   { return os.MkdirAll(path, perm) }
+func (osFS) Remove(name string) error                       { return os.Remove(name) }
+func (osFS) Rename(oldpath, newpath string) error           { return os.Rename(oldpath, newpath) }
+func (osFS) SyncDir(dir string) error                       { return syncDir(dir) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// syncDir fsyncs the directory holding a just-renamed file so the new
+// directory entry survives a host crash. Stubbed in tests to verify the
+// crash contract.
+var syncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}

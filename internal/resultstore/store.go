@@ -12,12 +12,24 @@
 // storing the same key race benignly — both write identical bytes — and
 // a crash mid-write never leaves a truncated entry at a live name.
 //
+// The store does not trust its own disk: every entry carries a sha256
+// digest of its result payload, recomputed on Load, so a torn write a
+// lying kernel published, a flipped bit, or a truncated document is
+// detected rather than served. Detection is self-healing: the corrupt
+// file is renamed into <dir>/quarantine/ (preserved for forensics, out
+// of the live namespace), Load returns the typed ErrCorruptEntry, and
+// the caller — the engine treats any Load error as a miss — simply
+// re-simulates and re-stores a clean entry. Scrub walks the whole store
+// and applies the same verification offline.
+//
 // Robustness over freshness: an unreadable, corrupt, mismatched or
-// wrong-schema entry is reported as a miss (never an error), so the
+// wrong-schema entry is reported as a miss (or typed corruption), so the
 // worst failure mode of the cache is re-simulation.
 package resultstore
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -25,6 +37,8 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
+	"strings"
 	"sync/atomic"
 
 	"repro/internal/engine"
@@ -32,20 +46,36 @@ import (
 )
 
 // schemaVersion is bumped whenever the entry encoding changes shape;
-// entries with another schema are misses.
-const schemaVersion = 1
+// entries with another schema are misses. Version 2 added the result
+// payload digest.
+const schemaVersion = 2
+
+// quarantineDir is the subdirectory corrupt entries are renamed into.
+// It is outside the shard namespace (shards are two hex characters), so
+// quarantined files can never shadow a live key.
+const quarantineDir = "quarantine"
+
+// ErrCorruptEntry marks an entry that was present on disk but failed
+// verification: unparseable, truncated, wrong key, wrong schema, or a
+// result payload whose sha256 digest does not match the recorded one.
+// The offending file has already been quarantined when this is
+// returned; callers treat it as a miss and re-simulate.
+var ErrCorruptEntry = errors.New("resultstore: corrupt entry")
 
 var keyRE = regexp.MustCompile(`^[0-9a-f]{4,64}$`)
 
 // entry is the on-disk document. Field order is the canonical encoding
 // order: marshaling the same result always yields the same bytes, which
 // is what makes concurrent same-key writers benign and lets callers
-// compare cached and live payloads byte-for-byte.
+// compare cached and live payloads byte-for-byte. Result stays raw on
+// load so Digest — sha256 over exactly those bytes — can be verified
+// before anything is decoded or returned.
 type entry struct {
-	Schema int    `json:"schema"`
-	Key    string `json:"key"`
-	Job    string `json:"job"` // human-readable tuple, for debugging only
-	Result result `json:"result"`
+	Schema int             `json:"schema"`
+	Key    string          `json:"key"`
+	Job    string          `json:"job"` // human-readable tuple, for debugging only
+	Digest string          `json:"digest"`
+	Result json.RawMessage `json:"result"`
 }
 
 type result struct {
@@ -64,28 +94,46 @@ type Counters struct {
 	Writes uint64
 	// Errors counts Load/Store calls that failed on I/O or encoding.
 	Errors uint64
+	// Corrupt counts entries that were present but failed verification
+	// (truncated, unparseable, digest mismatch) on Load or Scrub.
+	Corrupt uint64
+	// Quarantined counts corrupt files successfully renamed into the
+	// quarantine/ subdirectory.
+	Quarantined uint64
 }
 
 // Store is an on-disk result cache. It is safe for concurrent use by
 // multiple goroutines and multiple processes sharing the directory.
 type Store struct {
 	dir string
+	fs  FS
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
-	writes atomic.Uint64
-	errs   atomic.Uint64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	writes      atomic.Uint64
+	errs        atomic.Uint64
+	corrupt     atomic.Uint64
+	quarantined atomic.Uint64
 }
 
 // Open returns a store rooted at dir, creating it if needed.
 func Open(dir string) (*Store, error) {
+	return OpenFS(dir, osFS{})
+}
+
+// OpenFS is Open with an explicit filesystem — the injection point for
+// internal/chaos's faulty FS. fsys == nil means the real filesystem.
+func OpenFS(dir string, fsys FS) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("resultstore: empty directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = osFS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("resultstore: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, fs: fsys}, nil
 }
 
 // Dir returns the store's root directory.
@@ -94,10 +142,12 @@ func (s *Store) Dir() string { return s.dir }
 // Counters snapshots the store's activity counters.
 func (s *Store) Counters() Counters {
 	return Counters{
-		Hits:   s.hits.Load(),
-		Misses: s.misses.Load(),
-		Writes: s.writes.Load(),
-		Errors: s.errs.Load(),
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Writes:      s.writes.Load(),
+		Errors:      s.errs.Load(),
+		Corrupt:     s.corrupt.Load(),
+		Quarantined: s.quarantined.Load(),
 	}
 }
 
@@ -107,15 +157,52 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key[:2], key+".json")
 }
 
+// digest is the content digest recorded with (and verified against)
+// every entry's raw result bytes.
+func digest(raw []byte) string {
+	h := sha256.Sum256(raw)
+	return hex.EncodeToString(h[:])
+}
+
+// decode verifies one on-disk document against the key it lives under
+// and returns the result it carries. Any failure means the entry is
+// corrupt (or foreign) and must not be served.
+func decode(key string, data []byte) (*engine.Result, error) {
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("unparseable: %w", err)
+	}
+	if e.Schema != schemaVersion {
+		return nil, fmt.Errorf("schema %d, want %d", e.Schema, schemaVersion)
+	}
+	if e.Key != key {
+		return nil, fmt.Errorf("key %q under name %q", e.Key, key)
+	}
+	if got := digest(e.Result); got != e.Digest {
+		return nil, fmt.Errorf("result digest %.12s.., recorded %.12s..", got, e.Digest)
+	}
+	var r result
+	if err := json.Unmarshal(e.Result, &r); err != nil {
+		return nil, fmt.Errorf("result payload: %w", err)
+	}
+	if r.Report == nil {
+		return nil, errors.New("entry carries no report")
+	}
+	return &engine.Result{Report: r.Report, EmittedLogFlushes: r.EmittedLogFlushes}, nil
+}
+
 // Load implements engine.ResultStore: it returns the stored result for
-// key, or (nil, nil) when the store has nothing usable. Corrupt entries
-// count as misses and are removed so they cannot shadow a future write.
+// key, or (nil, nil) when the store has nothing usable. An entry that is
+// present but fails verification is quarantined and reported as
+// ErrCorruptEntry — the engine treats any Load error as a miss, so the
+// net effect is re-simulation followed by a clean re-publish: the store
+// heals itself through its own miss path.
 func (s *Store) Load(key string) (*engine.Result, error) {
 	if !keyRE.MatchString(key) {
 		s.misses.Add(1)
 		return nil, nil
 	}
-	data, err := os.ReadFile(s.path(key))
+	data, err := s.fs.ReadFile(s.path(key))
 	if err != nil {
 		s.misses.Add(1)
 		if !errors.Is(err, fs.ErrNotExist) {
@@ -123,16 +210,36 @@ func (s *Store) Load(key string) (*engine.Result, error) {
 		}
 		return nil, nil
 	}
-	var e entry
-	if err := json.Unmarshal(data, &e); err != nil || e.Schema != schemaVersion || e.Key != key || e.Result.Report == nil {
-		// A truncated, corrupt or foreign-schema entry: drop it and miss.
+	res, verr := decode(key, data)
+	if verr != nil {
 		s.misses.Add(1)
-		s.errs.Add(1)
-		os.Remove(s.path(key))
-		return nil, nil
+		s.corrupt.Add(1)
+		s.quarantine(s.path(key), key)
+		return nil, fmt.Errorf("%w: key %s: %v", ErrCorruptEntry, key, verr)
 	}
 	s.hits.Add(1)
-	return &engine.Result{Report: e.Result.Report, EmittedLogFlushes: e.Result.EmittedLogFlushes}, nil
+	return res, nil
+}
+
+// quarantine moves a corrupt file out of the live namespace, preserving
+// it for forensics. If the rename fails (the quarantine dir itself may
+// be sick) the file is removed instead, so a bad entry can never shadow
+// the clean rewrite that follows re-simulation.
+func (s *Store) quarantine(path, key string) {
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := s.fs.MkdirAll(qdir, 0o755); err == nil {
+		if err := s.fs.Rename(path, filepath.Join(qdir, key+".json")); err == nil {
+			s.quarantined.Add(1)
+			return
+		}
+	}
+	s.errs.Add(1)
+	if s.fs.Remove(path) != nil {
+		// Could not even remove it: the next Load will re-detect it, and
+		// Store's rename will overwrite it. Nothing more to do.
+		return
+	}
+	s.quarantined.Add(1)
 }
 
 // Store implements engine.ResultStore: it persists res under key with an
@@ -146,11 +253,17 @@ func (s *Store) Store(key string, j engine.Job, res *engine.Result) error {
 		s.errs.Add(1)
 		return errors.New("resultstore: refusing to store an empty result")
 	}
+	raw, err := json.Marshal(result{Report: res.Report, EmittedLogFlushes: res.EmittedLogFlushes})
+	if err != nil {
+		s.errs.Add(1)
+		return fmt.Errorf("resultstore: %w", err)
+	}
 	e := entry{
 		Schema: schemaVersion,
 		Key:    key,
 		Job:    j.String(),
-		Result: result{Report: res.Report, EmittedLogFlushes: res.EmittedLogFlushes},
+		Digest: digest(raw),
+		Result: raw,
 	}
 	data, err := json.Marshal(e)
 	if err != nil {
@@ -158,11 +271,11 @@ func (s *Store) Store(key string, j engine.Job, res *engine.Result) error {
 		return fmt.Errorf("resultstore: %w", err)
 	}
 	path := s.path(key)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	if err := s.fs.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		s.errs.Add(1)
 		return fmt.Errorf("resultstore: %w", err)
 	}
-	if err := WriteFileAtomic(path, data, 0o644); err != nil {
+	if err := writeFileAtomic(s.fs, path, data, 0o644); err != nil {
 		s.errs.Add(1)
 		return fmt.Errorf("resultstore: %w", err)
 	}
@@ -170,17 +283,105 @@ func (s *Store) Store(key string, j engine.Job, res *engine.Result) error {
 	return nil
 }
 
-// Len walks the store and returns the number of entries on disk.
+// Len walks the store and returns the number of live entries on disk
+// (quarantined files are not entries).
 func (s *Store) Len() (int, error) {
 	n := 0
 	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
-		if !d.IsDir() && filepath.Ext(path) == ".json" {
+		if d.IsDir() && d.Name() == quarantineDir {
+			return fs.SkipDir
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" && !strings.Contains(d.Name(), ".tmp-") {
 			n++
 		}
 		return nil
 	})
 	return n, err
+}
+
+// ScrubReport summarizes one Scrub pass.
+type ScrubReport struct {
+	// Scanned is the number of live entries examined.
+	Scanned int `json:"scanned"`
+	// Healthy entries passed verification.
+	Healthy int `json:"healthy"`
+	// Corrupt entries failed verification and were quarantined.
+	Corrupt int `json:"corrupt"`
+	// Quarantined lists the keys moved aside, sorted.
+	Quarantined []string `json:"quarantined,omitempty"`
+	// TempsRemoved counts leftover .tmp- files (crashed writers) that
+	// were swept away.
+	TempsRemoved int `json:"temps_removed"`
+}
+
+// Scrub walks every live entry, verifies it exactly as Load would, and
+// quarantines the ones that fail — the offline repair pass that turns a
+// disk full of latent corruption back into a store whose every future
+// Load is either a verified hit or an honest miss. Leftover temp files
+// from crashed writers are removed. Scrub is safe to run while the
+// store is serving, with one caveat: a concurrent writer's in-flight
+// temp file may be swept, failing that single Store call (the engine
+// drops store-write errors, so the worst case is one re-simulation).
+func (s *Store) Scrub() (ScrubReport, error) {
+	var rep ScrubReport
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == quarantineDir {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if strings.Contains(d.Name(), ".tmp-") {
+			if s.fs.Remove(path) == nil {
+				rep.TempsRemoved++
+			}
+			return nil
+		}
+		if filepath.Ext(path) != ".json" {
+			return nil
+		}
+		key := strings.TrimSuffix(d.Name(), ".json")
+		rep.Scanned++
+		data, rerr := s.fs.ReadFile(path)
+		if rerr != nil {
+			s.errs.Add(1)
+			return nil
+		}
+		if _, verr := decode(key, data); verr != nil {
+			rep.Corrupt++
+			rep.Quarantined = append(rep.Quarantined, key)
+			s.corrupt.Add(1)
+			s.quarantine(path, key)
+			return nil
+		}
+		rep.Healthy++
+		return nil
+	})
+	sort.Strings(rep.Quarantined)
+	return rep, err
+}
+
+// Quarantined returns the number of files currently parked in the
+// quarantine directory (not the lifetime counter — the on-disk truth).
+func (s *Store) Quarantined() (int, error) {
+	ents, err := os.ReadDir(filepath.Join(s.dir, quarantineDir))
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() {
+			n++
+		}
+	}
+	return n, nil
 }

@@ -1,8 +1,10 @@
 package resultstore
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -95,7 +97,12 @@ func TestSurvivesReopen(t *testing.T) {
 	}
 }
 
-func TestCorruptEntryIsAMiss(t *testing.T) {
+// corruptLoad stores one entry, mangles the on-disk file with mangle,
+// and asserts Load detects the damage: typed ErrCorruptEntry, no result,
+// the file quarantined out of the live namespace, and the corruption
+// counters advanced.
+func corruptLoad(t *testing.T, mangle func(t *testing.T, path string)) {
+	t.Helper()
 	dir := t.TempDir()
 	s, err := Open(dir)
 	if err != nil {
@@ -107,19 +114,193 @@ func TestCorruptEntryIsAMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(dir, key[:2], key+".json")
-	// Truncate the entry mid-document, as an interrupted non-atomic
-	// writer would have.
-	if err := os.WriteFile(path, []byte(`{"schema":1,"key":`), 0o644); err != nil {
+	mangle(t, path)
+
+	got, err := s.Load(key)
+	if got != nil {
+		t.Fatalf("corrupt entry served a result: %+v", got)
+	}
+	if !errors.Is(err, ErrCorruptEntry) {
+		t.Fatalf("Load = %v, want ErrCorruptEntry", err)
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatal("corrupt entry still at its live name")
+	}
+	qpath := filepath.Join(dir, quarantineDir, key+".json")
+	if _, serr := os.Stat(qpath); serr != nil {
+		t.Fatalf("corrupt entry not quarantined: %v", serr)
+	}
+	c := s.Counters()
+	if c.Corrupt != 1 || c.Quarantined != 1 || c.Misses != 1 {
+		t.Fatalf("counters %+v, want 1 corrupt / 1 quarantined / 1 miss", c)
+	}
+	// The quarantined file must not count as an entry, and the store must
+	// accept a clean rewrite of the same key.
+	if n, lerr := s.Len(); lerr != nil || n != 0 {
+		t.Fatalf("Len = (%d, %v) after quarantine, want 0", n, lerr)
+	}
+	if err := s.Store(key, j, testResult()); err != nil {
+		t.Fatalf("re-store after quarantine: %v", err)
+	}
+	if got, err := s.Load(key); err != nil || got == nil {
+		t.Fatalf("healed entry = (%v, %v), want a hit", got, err)
+	}
+}
+
+func TestTruncatedEntryIsQuarantined(t *testing.T) {
+	corruptLoad(t, func(t *testing.T, path string) {
+		// Truncate the entry mid-document, as an interrupted non-atomic
+		// writer (or a torn publish) would have.
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestSingleBitFlipIsQuarantined(t *testing.T) {
+	corruptLoad(t, func(t *testing.T, path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Flip one bit inside the result payload: the JSON often still
+		// parses, so only the digest can catch it.
+		i := bytes.Index(data, []byte(`"Cycles"`))
+		if i < 0 {
+			t.Fatal("no cycles field to corrupt")
+		}
+		data[i+10] ^= 0x01
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestEmptyEntryIsQuarantined(t *testing.T) {
+	corruptLoad(t, func(t *testing.T, path string) {
+		if err := os.WriteFile(path, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestForeignSchemaIsQuarantined(t *testing.T) {
+	corruptLoad(t, func(t *testing.T, path string) {
+		if err := os.WriteFile(path, []byte(`{"schema":1,"key":"x"}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestScrubQuarantinesCorruptEntries: an offline pass over a store with
+// a mix of healthy, corrupt and leftover-temp files repairs it in place.
+func TestScrubQuarantinesCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if got, err := s.Load(key); err != nil || got != nil {
-		t.Fatalf("corrupt entry loaded as (%v, %v), want miss", got, err)
+	// Three healthy entries with distinct keys.
+	var keys []string
+	for i := 0; i < 3; i++ {
+		j := testJob()
+		j.Params.Seed = int64(100 + i)
+		if err := s.Store(j.Fingerprint(), j, testResult()); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, j.Fingerprint())
 	}
-	if _, err := os.Stat(path); !os.IsNotExist(err) {
-		t.Fatal("corrupt entry was not removed")
+	// Corrupt one of them and plant a stale temp file.
+	victim := keys[1]
+	vpath := filepath.Join(dir, victim[:2], victim+".json")
+	if err := os.WriteFile(vpath, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
 	}
-	if c := s.Counters(); c.Errors == 0 {
-		t.Fatalf("counters %+v: corruption not counted as an error", c)
+	tmp := filepath.Join(dir, victim[:2], victim+".json.tmp-12345")
+	if err := os.WriteFile(tmp, []byte("half a doc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != 3 || rep.Healthy != 2 || rep.Corrupt != 1 || rep.TempsRemoved != 1 {
+		t.Fatalf("scrub report %+v, want 3 scanned / 2 healthy / 1 corrupt / 1 temp removed", rep)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != victim {
+		t.Fatalf("quarantined %v, want [%s]", rep.Quarantined, victim)
+	}
+	if n, err := s.Quarantined(); err != nil || n != 1 {
+		t.Fatalf("Quarantined() = (%d, %v), want 1", n, err)
+	}
+	// The survivors still load; the victim is an honest miss.
+	for _, k := range []string{keys[0], keys[2]} {
+		if got, err := s.Load(k); err != nil || got == nil {
+			t.Fatalf("healthy entry %s after scrub = (%v, %v)", k, got, err)
+		}
+	}
+	if got, err := s.Load(victim); err != nil || got != nil {
+		t.Fatalf("scrubbed entry = (%v, %v), want a clean miss", got, err)
+	}
+	// A second scrub finds nothing left to do.
+	rep, err = s.Scrub()
+	if err != nil || rep.Corrupt != 0 || rep.Healthy != 2 || rep.TempsRemoved != 0 {
+		t.Fatalf("second scrub = (%+v, %v), want all healthy", rep, err)
+	}
+}
+
+// failRenameFS simulates a process crash between the temp-file fsync and
+// the publishing rename: the rename into a live entry name never
+// happens. The store must keep serving whatever was at the name before.
+type failRenameFS struct {
+	FS
+}
+
+func (f failRenameFS) Rename(oldpath, newpath string) error {
+	if filepath.Ext(newpath) == ".json" && !strings.Contains(newpath, ".tmp-") {
+		return errors.New("injected crash before rename")
+	}
+	return f.FS.Rename(oldpath, newpath)
+}
+
+func TestCrashBeforeRenameKeepsOldEntry(t *testing.T) {
+	dir := t.TempDir()
+	j := testJob()
+	key := j.Fingerprint()
+
+	healthy, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := healthy.Store(key, j, testResult()); err != nil {
+		t.Fatal(err)
+	}
+
+	crashy, err := OpenFS(dir, failRenameFS{OSFS()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newer := testResult()
+	newer.Report.Cycles = 999
+	if err := crashy.Store(key, j, newer); err == nil {
+		t.Fatal("Store succeeded though the publish rename crashed")
+	}
+
+	// The old entry is intact and verified; no temp debris shadows it.
+	got, err := healthy.Load(key)
+	if err != nil || got == nil {
+		t.Fatalf("entry after crashed rewrite = (%v, %v), want the old result", got, err)
+	}
+	if got.Report.Cycles != testResult().Report.Cycles {
+		t.Fatalf("cycles %d, want the pre-crash value %d", got.Report.Cycles, testResult().Report.Cycles)
+	}
+	if n, err := healthy.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = (%d, %v), want exactly the old entry", n, err)
 	}
 }
 
@@ -300,6 +481,66 @@ func TestConcurrentMultiProcessWriters(t *testing.T) {
 		if c := s.Counters(); c.Errors != 0 {
 			t.Errorf("store %d counted %d errors under concurrent writers", i, c.Errors)
 		}
+	}
+}
+
+// TestEngineHealsCorruptEntry is the store-miss-on-corruption contract
+// end to end: a corrupt entry makes the engine re-simulate (counted as a
+// store error, not a hit), and the successful run re-publishes a clean,
+// verified entry — the store heals through its own miss path.
+func TestEngineHealsCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	j := testJob()
+	key := j.Fingerprint()
+
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := engine.New(engine.Config{Workers: 1, Store: s1})
+	live, err := e1.Run(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the published entry in place.
+	path := filepath.Join(dir, key[:2], key+".json")
+	if err := os.WriteFile(path, []byte(`{"schema":2,"key":"`+key+`"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := engine.New(engine.Config{Workers: 1, Store: s2})
+	healed, err := e2.Run(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := e2.Counters(); c.Simulated != 1 || c.StoreHits != 0 || c.StoreErrors != 1 {
+		t.Fatalf("second engine counters %+v, want 1 simulated / 0 store hits / 1 store error", c)
+	}
+	a, _ := json.Marshal(live)
+	b, _ := json.Marshal(healed)
+	if string(a) != string(b) {
+		t.Fatal("re-simulated result differs from the original run")
+	}
+
+	// The re-publish healed the entry: a third engine gets a store hit.
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3 := engine.New(engine.Config{Workers: 1, Store: s3})
+	if _, err := e3.Run(context.Background(), j); err != nil {
+		t.Fatal(err)
+	}
+	if c := e3.Counters(); c.StoreHits != 1 || c.Simulated != 0 {
+		t.Fatalf("third engine counters %+v, want a clean store hit", c)
+	}
+	if n, err := s3.Quarantined(); err != nil || n != 1 {
+		t.Fatalf("Quarantined() = (%d, %v), want the corpse preserved", n, err)
 	}
 }
 

@@ -154,6 +154,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	mw.counter("proteus_engine_workloads_built_total", ec.WorkloadsBuilt)
 	mw.counter("proteus_engine_failed_total", ec.Failed)
 	mw.counter("proteus_engine_store_hits_total", ec.StoreHits)
+	mw.counter("proteus_engine_store_errors_total", ec.StoreErrors)
 
 	// Result store: hit ratio over this process's lookups.
 	if s.conf.Store != nil {
@@ -162,6 +163,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		mw.counter("proteus_store_misses_total", sc.Misses)
 		mw.counter("proteus_store_writes_total", sc.Writes)
 		mw.counter("proteus_store_errors_total", sc.Errors)
+		mw.counter("proteus_store_corrupt_total", sc.Corrupt)
+		mw.counter("proteus_store_quarantined_total", sc.Quarantined)
 		ratio := math.NaN()
 		if tot := sc.Hits + sc.Misses; tot > 0 {
 			ratio = float64(sc.Hits) / float64(tot)
@@ -184,6 +187,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		mw.counter("proteus_cluster_completed_total", cs.Completed)
 		mw.counter("proteus_cluster_quarantined_total", cs.QuarantinedN)
 		mw.counter("proteus_cluster_stale_reports_total", cs.StaleReports)
+		mw.counter("proteus_cluster_workers_evicted_total", cs.WorkersEvicted)
+		mw.counter("proteus_cluster_unknown_worker_total", cs.UnknownWorkerCalls)
 		for _, m := range []struct {
 			name string
 			get  func(w cluster.WorkerStats) uint64

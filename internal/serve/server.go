@@ -16,6 +16,9 @@
 //	GET  /v1/jobs            list job summaries
 //	GET  /v1/jobs/{id}       status + result when done
 //	DELETE /v1/jobs/{id}     cancel a queued or running job
+//	POST /v1/store/scrub     verify every result-store entry, quarantine
+//	                         corrupt ones; returns the scrub report
+//	                         (requires Config.Store)
 //	GET  /healthz            200 ok, 503 while draining
 //	GET  /metrics            Prometheus text format
 package serve
@@ -412,6 +415,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.conf.Store != nil {
+		mux.HandleFunc("POST /v1/store/scrub", s.handleScrub)
+	}
 	if s.conf.Cluster != nil {
 		mux.Handle("/v1/cluster/", http.StripPrefix("/v1/cluster", s.conf.Cluster.Handler()))
 	}
@@ -534,6 +540,20 @@ func sortStatuses(xs []statusResponse) {
 		return n
 	}
 	sort.Slice(xs, func(i, j int) bool { return num(xs[i].ID) < num(xs[j].ID) })
+}
+
+// handleScrub runs a full result-store verification pass and reports
+// what it found — the operator's repair trigger after a disk scare. The
+// store serves normally while the scrub walks it.
+func (s *Server) handleScrub(w http.ResponseWriter, _ *http.Request) {
+	rep, err := s.conf.Store.Scrub()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.log.Info("store scrubbed", "scanned", rep.Scanned, "corrupt", rep.Corrupt,
+		"temps_removed", rep.TempsRemoved)
+	writeJSON(w, http.StatusOK, rep)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
