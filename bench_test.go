@@ -11,6 +11,7 @@ package repro_test
 import (
 	"context"
 	"io"
+	"strconv"
 	"testing"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/isa"
+	"repro/internal/ledger"
 	"repro/internal/logging"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -396,6 +398,86 @@ func BenchmarkStepSteadyState(b *testing.B) {
 			b.StartTimer()
 		}
 		sys.Step(2_000)
+	}
+}
+
+// benchLedger opens a fresh ledger in a per-call temp dir. The
+// admission benchmarks rotate to a new one periodically so the
+// append-rewrites-whole-file cost stays representative of a live
+// serving ledger instead of growing without bound with b.N.
+func benchLedger(b *testing.B) *ledger.Ledger {
+	b.Helper()
+	lg, err := ledger.Open(ledger.DefaultPath(b.TempDir()), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lg
+}
+
+func benchLeaf(i int) ledger.Leaf {
+	return ledger.Leaf{
+		Kind:     ledger.LeafAdmission,
+		Key:      "0123456789abcdef",
+		ConfigFP: "fedcba9876543210",
+		Scheme:   "Proteus",
+		Workload: "QE",
+		Revision: "bench",
+		Digest:   strconv.Itoa(i),
+	}
+}
+
+// BenchmarkAdmissionBatched measures serve-path admission throughput
+// with the batcher in front of the ledger: Submit is a slice append
+// plus two non-blocking signals, and one fsynced chain rewrite seals
+// 64 admissions. Compare BenchmarkAdmissionUnbatched — the same leaves
+// sealed one record each — for the batching win.
+func BenchmarkAdmissionBatched(b *testing.B) {
+	const rotate = 1 << 14
+	lg := benchLedger(b)
+	bt := ledger.NewBatcher(lg, 64, 2*time.Millisecond)
+	ctx := context.Background()
+	tickets := make([]*ledger.Ticket, 0, min(b.N, rotate))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%rotate == 0 {
+			drainTickets(b, ctx, tickets)
+			tickets = tickets[:0]
+			bt.Close()
+			lg = benchLedger(b)
+			bt = ledger.NewBatcher(lg, 64, 2*time.Millisecond)
+		}
+		tickets = append(tickets, bt.Submit(benchLeaf(i)))
+	}
+	drainTickets(b, ctx, tickets)
+	b.StopTimer()
+	bt.Close()
+}
+
+func drainTickets(b *testing.B, ctx context.Context, tickets []*ledger.Ticket) {
+	b.Helper()
+	for _, tk := range tickets {
+		if _, err := tk.Wait(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdmissionUnbatched seals one record per admission — the
+// naive design the batcher replaces: every admission pays a full
+// Merkle build, chain rewrite, fsync and read-back of its own.
+func BenchmarkAdmissionUnbatched(b *testing.B) {
+	const rotate = 1 << 9
+	lg := benchLedger(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%rotate == 0 {
+			lg = benchLedger(b)
+		}
+		if _, err := lg.Append([]ledger.Leaf{benchLeaf(i)}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

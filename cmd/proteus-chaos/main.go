@@ -27,6 +27,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -47,6 +49,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/crashcampaign"
 	"repro/internal/engine"
+	"repro/internal/ledger"
 	"repro/internal/resultstore"
 	"repro/internal/serve"
 	"repro/internal/workload"
@@ -89,6 +92,25 @@ type soakReport struct {
 	ScrubScanned     int `json:"scrub_scanned"`
 	ScrubCorrupt     int `json:"scrub_corrupt"`
 	StoreQuarantined int `json:"store_quarantined"` // corpses parked on disk
+
+	// Provenance ledger under chaos. ForgedProofs counts verifying
+	// inclusion proofs that vouched for corrupt on-disk bytes (must be
+	// 0: the lying FS may corrupt entries, but it must never be able to
+	// make the ledger attest to the corruption). StampRejected counts
+	// worker completions the coordinator refused over their stamps.
+	ForgedProofs  int    `json:"forged_proofs"`
+	StampRejected uint64 `json:"stamp_rejected"`
+	LedgerRecords int    `json:"ledger_records"`
+	LedgerLeaves  int    `json:"ledger_leaves"`
+	// Final offline audit of the coordinator store against its ledger
+	// (run on the real filesystem, after scrubbing): divergent and
+	// unledgered must both be 0. Missing entries are quarantined
+	// corpses — the ledger remembers results the store will have to
+	// re-simulate, which is loss, not deceit.
+	AuditLedgered   int `json:"audit_ledgered"`
+	AuditDivergent  int `json:"audit_divergent"`
+	AuditUnledgered int `json:"audit_unledgered"`
+	AuditMissing    int `json:"audit_missing"`
 
 	Elapsed string `json:"elapsed"`
 }
@@ -148,7 +170,7 @@ func run(seed int64, duration time.Duration, workers int, faultList, storeDir, o
 			return fmt.Errorf("iteration %d: fault-free reference run: %w", rep.Iterations, err)
 		}
 
-		got, stats, err := chaosIteration(ctx, iterArgs{
+		got, stats, forged, err := chaosIteration(ctx, iterArgs{
 			campaign: camp, injector: in, logger: logger,
 			storeDir: storeDir, workers: workers, seed: seed,
 			fsFaults: fsFaults, httpFaults: httpFaults, killFaults: killFaults,
@@ -167,6 +189,8 @@ func run(seed int64, duration time.Duration, workers int, faultList, storeDir, o
 		rep.UnknownWorker += stats.UnknownWorkerCalls
 		rep.WorkersEvicted += stats.WorkersEvicted
 		rep.ItemsLost += stats.QuarantinedN
+		rep.StampRejected += stats.StampRejected
+		rep.ForgedProofs += forged
 		rep.Iterations++
 	}
 
@@ -197,6 +221,33 @@ func run(seed int64, duration time.Duration, workers int, faultList, storeDir, o
 		rep.StoreQuarantined += q
 	}
 
+	// Offline audit on the real filesystem: every entry that survived the
+	// scrub must match the chain, and nothing the recording hook wrote may
+	// be missing from it. Quarantined corpses show up as Missing — loss
+	// the cache will repair by re-simulating, not deceit — so they are
+	// tolerated here; divergence or unledgered entries are not.
+	coDir := filepath.Join(storeDir, "coordinator")
+	if _, statErr := os.Stat(ledger.DefaultPath(coDir)); statErr == nil {
+		st, err := resultstore.Open(coDir)
+		if err != nil {
+			return err
+		}
+		lg, err := ledger.Open(ledger.DefaultPath(coDir), nil)
+		if err != nil {
+			return fmt.Errorf("final ledger open: %w", err)
+		}
+		arep, err := ledger.Audit(st, lg)
+		if err != nil {
+			return fmt.Errorf("final ledger audit: %w", err)
+		}
+		rep.LedgerRecords = arep.Records
+		rep.LedgerLeaves = arep.Leaves
+		rep.AuditLedgered = arep.Ledgered
+		rep.AuditDivergent = len(arep.Divergent)
+		rep.AuditUnledgered = len(arep.Unledgered)
+		rep.AuditMissing = len(arep.Missing)
+	}
+
 	rep.Faults = in.Counters()
 	rep.Elapsed = time.Since(start).Round(time.Millisecond).String()
 
@@ -219,6 +270,11 @@ func run(seed int64, duration time.Duration, workers int, faultList, storeDir, o
 		return fmt.Errorf("%d report mismatches", rep.Mismatches)
 	case rep.ItemsLost > 0:
 		return fmt.Errorf("%d cluster items quarantined (unrecovered work)", rep.ItemsLost)
+	case rep.ForgedProofs > 0:
+		return fmt.Errorf("%d forged inclusion proofs (the lying FS defeated tamper evidence)", rep.ForgedProofs)
+	case rep.AuditDivergent > 0 || rep.AuditUnledgered > 0:
+		return fmt.Errorf("final ledger audit failed: %d divergent, %d unledgered",
+			rep.AuditDivergent, rep.AuditUnledgered)
 	case (fsFaults || httpFaults) && in.Total() == 0:
 		return errors.New("fault surfaces enabled but nothing fired; soak proved nothing")
 	}
@@ -260,22 +316,23 @@ func reportBytes(ctx context.Context, c crashcampaign.Config) ([]byte, error) {
 }
 
 type iterArgs struct {
-	campaign crashcampaign.Config
-	injector *chaos.Injector
-	logger   *slog.Logger
-	storeDir string
-	workers  int
-	seed     int64
-	fsFaults bool
+	campaign   crashcampaign.Config
+	injector   *chaos.Injector
+	logger     *slog.Logger
+	storeDir   string
+	workers    int
+	seed       int64
+	fsFaults   bool
 	httpFaults bool
 	killFaults bool
 }
 
 // chaosIteration runs one campaign on a full in-process cluster — serve
 // HTTP front, coordinator, pull workers with their own stores — under
-// the injector's faults, and returns the report bytes plus the
-// coordinator's closing stats.
-func chaosIteration(ctx context.Context, a iterArgs) ([]byte, cluster.Stats, error) {
+// the injector's faults, and returns the report bytes, the
+// coordinator's closing stats, and the number of forged inclusion
+// proofs (corrupt entries the ledger vouched for; must be zero).
+func chaosIteration(ctx context.Context, a iterArgs) ([]byte, cluster.Stats, int, error) {
 	ctx, cancel := context.WithTimeout(ctx, 3*time.Minute)
 	defer cancel()
 
@@ -289,30 +346,48 @@ func chaosIteration(ctx context.Context, a iterArgs) ([]byte, cluster.Stats, err
 
 	coStore, err := openStore("coordinator")
 	if err != nil {
-		return nil, cluster.Stats{}, err
+		return nil, cluster.Stats{}, 0, err
 	}
+	// The provenance ledger lives inside the coordinator store and is
+	// written through the same lying filesystem: every sealed batch must
+	// survive torn writes and bit flips or refuse to commit, and nothing
+	// the faults do may ever produce a proof over corrupted bytes.
+	var ledgerFS resultstore.FS
+	if a.fsFaults {
+		ledgerFS = chaos.NewFS(a.injector)
+	}
+	lg, err := openLedgerRetry(ledger.DefaultPath(coStore.Dir()), ledgerFS)
+	if err != nil {
+		return nil, cluster.Stats{}, 0, fmt.Errorf("opening ledger: %w", err)
+	}
+	admissions := ledger.NewBatcher(lg, 16, 10*time.Millisecond)
+	recStore := ledger.NewRecordingStore(coStore, admissions)
+	coStore.SetVerifier(ledger.DigestVerifier(lg))
 	co := cluster.NewCoordinator(cluster.Config{
-		LeaseTTL:    time.Second,
-		RetryBudget: 10,
-		BackoffBase: 10 * time.Millisecond,
-		BackoffMax:  500 * time.Millisecond,
-		Seed:        a.seed,
-		Publish:     cluster.PublishToStore(coStore, a.logger),
-		Logger:      a.logger,
+		LeaseTTL:         time.Second,
+		RetryBudget:      10,
+		BackoffBase:      10 * time.Millisecond,
+		BackoffMax:       500 * time.Millisecond,
+		Seed:             a.seed,
+		Publish:          cluster.PublishToStore(recStore, a.logger),
+		VerifyCompletion: cluster.VerifyCompletion,
+		Logger:           a.logger,
 	})
 	srv, err := serve.New(serve.Config{
-		Engine:  engine.New(engine.Config{Workers: 2, Store: coStore}),
-		Store:   coStore,
-		Cluster: co,
-		Logger:  a.logger,
+		Engine:     engine.New(engine.Config{Workers: 2, Store: recStore}),
+		Store:      coStore,
+		Cluster:    co,
+		Ledger:     lg,
+		Admissions: admissions,
+		Logger:     a.logger,
 	})
 	if err != nil {
-		return nil, cluster.Stats{}, err
+		return nil, cluster.Stats{}, 0, err
 	}
 	srv.Start()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, cluster.Stats{}, err
+		return nil, cluster.Stats{}, 0, err
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	go hs.Serve(ln)
@@ -363,7 +438,7 @@ func chaosIteration(ctx context.Context, a iterArgs) ([]byte, cluster.Stats, err
 		w, err := newWorker(fmt.Sprintf("worker-%d", i), fmt.Sprintf("worker-%d", i))
 		if err != nil {
 			stopWorkers()
-			return nil, cluster.Stats{}, err
+			return nil, cluster.Stats{}, 0, err
 		}
 		startWorker(w, wctx)
 	}
@@ -377,7 +452,7 @@ func chaosIteration(ctx context.Context, a iterArgs) ([]byte, cluster.Stats, err
 		victim, err := newWorker("victim", "victim")
 		if err != nil {
 			stopWorkers()
-			return nil, cluster.Stats{}, err
+			return nil, cluster.Stats{}, 0, err
 		}
 		victim.Hooks.Leased = func(items []cluster.Item) {
 			once.Do(killVictim)
@@ -386,7 +461,7 @@ func chaosIteration(ctx context.Context, a iterArgs) ([]byte, cluster.Stats, err
 		phoenix, err := newWorker("phoenix", "victim")
 		if err != nil {
 			stopWorkers()
-			return nil, cluster.Stats{}, err
+			return nil, cluster.Stats{}, 0, err
 		}
 		startWorker(phoenix, wctx)
 	}
@@ -402,6 +477,15 @@ func chaosIteration(ctx context.Context, a iterArgs) ([]byte, cluster.Stats, err
 		}
 		return buf.Bytes(), nil
 	}()
+
+	// Drive the serve front door too: the campaign above scatters tuples
+	// to workers, but only direct submissions flow through the admission
+	// batcher and the recording store, so this is what makes every
+	// iteration seal real leaves (admissions at submit, results at
+	// store-write) while the fault injector is live.
+	if runErr == nil {
+		runErr = submitSims(ctx, url, a.campaign.Seed)
+	}
 
 	// Exercise the operator surface while the stack is still up: a scrub
 	// over HTTP and a metrics scrape must both succeed under chaos. These
@@ -429,10 +513,141 @@ func chaosIteration(ctx context.Context, a iterArgs) ([]byte, cluster.Stats, err
 	stats := co.Stats()
 	stopWorkers()
 	wg.Wait()
+	// Seal whatever the workers left pending, then probe the store for
+	// forged proofs while the chain is at its final per-iteration state.
+	admissions.Close()
+	forged := 0
+	if runErr == nil {
+		var ferr error
+		forged, ferr = forgedProofs(coStore, lg)
+		if ferr != nil {
+			runErr = fmt.Errorf("forged-proof probe: %w", ferr)
+		}
+	}
 	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	hs.Shutdown(shutCtx)
 	srv.Drain(shutCtx)
 	shutCancel()
 	ln.Close()
-	return got, stats, runErr
+	return got, stats, forged, runErr
+}
+
+// openLedgerRetry opens the ledger through a possibly-lying filesystem.
+// Open re-verifies the whole chain, so a bit-flipped *read* of a good
+// file looks exactly like corruption; retrying separates lying reads
+// (transient — the next read tells the truth) from genuine on-disk
+// damage (persistent, and a soak failure, because every append was
+// read-back-verified before it committed).
+func openLedgerRetry(path string, fsys resultstore.FS) (*ledger.Ledger, error) {
+	var lg *ledger.Ledger
+	var err error
+	for i := 0; i < 8; i++ {
+		if lg, err = ledger.Open(path, fsys); err == nil {
+			return lg, nil
+		}
+	}
+	return nil, err
+}
+
+// submitSims pushes two small sim jobs through the HTTP front door —
+// the path the campaign does not take — and polls each to completion.
+// A finished sim must eventually carry a verifying admission proof in
+// its status: the submission was sealed into the chain, and the proof
+// survived whatever the injector did to the ledger file. The sim seed
+// follows the iteration so result leaves keep being minted rather than
+// answered from cache.
+func submitSims(ctx context.Context, url string, seed int64) error {
+	type status struct {
+		ID        string                 `json:"id"`
+		State     string                 `json:"state"`
+		Error     string                 `json:"error"`
+		Admission *ledger.InclusionProof `json:"admission"`
+	}
+	for _, scheme := range []string{"Proteus", "ATOM"} {
+		body, err := json.Marshal(map[string]any{
+			"type": "sim", "bench": "QE", "scheme": scheme,
+			"threads": 2, "simops": 16, "initops": 64, "seed": seed,
+		})
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("submit sim: %w", err)
+		}
+		var st status
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("submit sim: decoding response: %w", err)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("sim %s: no verifying admission proof before deadline (state %s)", st.ID, st.State)
+			}
+			resp, err := http.Get(url + "/v1/jobs/" + st.ID)
+			if err != nil {
+				return fmt.Errorf("sim %s: poll: %w", st.ID, err)
+			}
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				return fmt.Errorf("sim %s: poll decode: %w", st.ID, err)
+			}
+			switch st.State {
+			case "failed", "cancelled":
+				return fmt.Errorf("sim %s: state %s: %s", st.ID, st.State, st.Error)
+			case "done":
+				if st.Admission != nil {
+					if err := st.Admission.Verify(); err != nil {
+						return fmt.Errorf("sim %s: admission proof does not verify: %w", st.ID, err)
+					}
+				}
+			}
+			if st.State == "done" && st.Admission != nil {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// forgedProofs walks the store for corrupt entries that the ledger
+// nevertheless vouches for: a verifying inclusion proof whose leaf
+// digest matches the corrupt bytes would mean the lying FS forged
+// provenance. The walk itself reads through the chaos FS, so a lying
+// read can make a healthy entry look corrupt here — but its mangled
+// bytes hash to a digest the chain never sealed, so that cannot count
+// as forged.
+func forgedProofs(st *resultstore.Store, lg *ledger.Ledger) (int, error) {
+	forged := 0
+	err := st.Walk(func(key string, raw []byte, readErr error) error {
+		if readErr != nil {
+			return nil // unreadable: no bytes for a proof to vouch for
+		}
+		if _, verr := resultstore.VerifyEntry(key, raw); verr == nil {
+			return nil // healthy: cross-checked by the final offline audit
+		}
+		var doc struct {
+			Result json.RawMessage `json:"result"`
+		}
+		if json.Unmarshal(raw, &doc) != nil || len(doc.Result) == 0 {
+			return nil
+		}
+		sum := sha256.Sum256(doc.Result)
+		p, err := lg.Proof(key, ledger.LeafResult)
+		if err != nil {
+			return nil // never sealed: nothing vouches for this key
+		}
+		if lg.VerifyProof(p) == nil && p.Leaf.Digest == hex.EncodeToString(sum[:]) {
+			forged++
+		}
+		return nil
+	})
+	return forged, err
 }

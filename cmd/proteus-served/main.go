@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/ledger"
 	"repro/internal/resultstore"
 	"repro/internal/serve"
 )
@@ -49,6 +50,10 @@ func main() {
 		leaseTTL    = flag.Duration("lease-ttl", 10*time.Second, "cluster lease TTL: a worker silent this long loses its items to requeue")
 		retryBudget = flag.Int("retry-budget", 4, "cluster lease grants per item before quarantine")
 		leaseBatch  = flag.Int("lease-batch", 8, "cluster max items per lease call")
+
+		ledgerOn  = flag.Bool("ledger", true, "maintain the tamper-evident provenance ledger next to the store (requires -store)")
+		batchMax  = flag.Int("ledger-batch", 64, "ledger batching: seal a batch at this many leaves")
+		batchWait = flag.Duration("ledger-wait", 25*time.Millisecond, "ledger batching: seal a batch when its oldest leaf has waited this long")
 	)
 	flag.Parse()
 
@@ -56,12 +61,27 @@ func main() {
 
 	econf := engine.Config{Workers: *jobs}
 	var store *resultstore.Store
+	var lg *ledger.Ledger
+	var batcher *ledger.Batcher
 	if *storeDir != "" {
 		var err error
 		store, err = resultstore.Open(*storeDir)
 		exitOn(err)
 		econf.Store = store
 		logger.Info("result store open", "dir", *storeDir)
+		if *ledgerOn {
+			lg, err = ledger.Open(ledger.DefaultPath(*storeDir), nil)
+			exitOn(err)
+			batcher = ledger.NewBatcher(lg, *batchMax, *batchWait)
+			// Every engine store-write flows through the recording hook,
+			// so the ledger seals a leaf for each new result; Scrub
+			// cross-checks healthy entries against the sealed digests.
+			econf.Store = ledger.NewRecordingStore(store, batcher)
+			store.SetVerifier(ledger.DigestVerifier(lg))
+			head := lg.Head()
+			logger.Info("provenance ledger open", "path", ledger.DefaultPath(*storeDir),
+				"records", head.Records, "leaves", head.Leaves, "head", head.Head)
+		}
 	}
 	eng := engine.New(econf)
 
@@ -77,8 +97,13 @@ func main() {
 		if store != nil {
 			// Workers report results over the protocol; the coordinator
 			// publishes sims into the shared store so later submissions
-			// are answered without touching the cluster.
-			cconf.Publish = cluster.PublishToStore(store, logger)
+			// are answered without touching the cluster. With the ledger
+			// on, the publish flows through the recording hook and every
+			// completion's provenance stamp is verified before acceptance.
+			cconf.Publish = cluster.PublishToStore(econf.Store, logger)
+			if batcher != nil {
+				cconf.VerifyCompletion = cluster.VerifyCompletion
+			}
 		}
 		coord = cluster.NewCoordinator(cconf)
 		janitorStop = make(chan struct{})
@@ -93,6 +118,8 @@ func main() {
 		Workers:        *workers,
 		DefaultTimeout: *jobTimeout,
 		Cluster:        coord,
+		Ledger:         lg,
+		Admissions:     batcher,
 		Logger:         logger,
 	})
 	exitOn(err)
@@ -129,6 +156,11 @@ func main() {
 	}
 	if janitorStop != nil {
 		close(janitorStop)
+	}
+	if batcher != nil {
+		// Seal whatever the drain left pending so the on-disk ledger
+		// covers every store write this process made.
+		batcher.Close()
 	}
 	logger.Info("drained, exiting")
 }

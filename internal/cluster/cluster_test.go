@@ -300,12 +300,12 @@ func TestLeaseExpiryRequeuesAndStaleCompletionIsDropped(t *testing.T) {
 	}
 
 	// w1 comes back from the dead and reports: stale, dropped.
-	accepted, err := co.Complete("w1", id, json.RawMessage(`{"cycles":1}`), "")
+	accepted, err := co.Complete("w1", id, json.RawMessage(`{"cycles":1}`), nil, "")
 	if err != nil || accepted {
 		t.Fatalf("stale completion = (%v, %v), want dropped", accepted, err)
 	}
 	// w2's report wins.
-	accepted, err = co.Complete("w2", id, json.RawMessage(`{"cycles":1}`), "")
+	accepted, err = co.Complete("w2", id, json.RawMessage(`{"cycles":1}`), nil, "")
 	if err != nil || !accepted {
 		t.Fatalf("live completion = (%v, %v), want accepted", accepted, err)
 	}
@@ -468,7 +468,7 @@ func TestBackoffShiftClampAtHighRetryBudget(t *testing.T) {
 		if err != nil || len(got) != 1 {
 			t.Fatalf("attempt %d: lease = (%v, %v), want the item", i+1, got, err)
 		}
-		if _, err := co.Complete("w1", id, nil, "injected failure"); err != nil {
+		if _, err := co.Complete("w1", id, nil, nil, "injected failure"); err != nil {
 			t.Fatalf("attempt %d: fail report: %v", i+1, err)
 		}
 		now = now.Add(max + time.Second)
@@ -479,7 +479,7 @@ func TestBackoffShiftClampAtHighRetryBudget(t *testing.T) {
 	if got, _ := co.Lease("w1", 1); len(got) != 1 {
 		t.Fatal("attempt 31: item not leasable")
 	}
-	if _, err := co.Complete("w1", id, nil, "injected failure"); err != nil {
+	if _, err := co.Complete("w1", id, nil, nil, "injected failure"); err != nil {
 		t.Fatal(err)
 	}
 	now = now.Add(2 * time.Second) // far beyond the wrapped window

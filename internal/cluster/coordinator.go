@@ -145,6 +145,14 @@ type Config struct {
 	// write worker-produced simulation results into the shared result
 	// store.
 	Publish func(kind string, payload, result json.RawMessage)
+	// VerifyCompletion, when non-nil, checks every successful
+	// completion's provenance stamp before it is accepted (wired to
+	// cluster.VerifyCompletion when the serving binary runs with the
+	// ledger on). A completion that fails verification is treated as a
+	// failed attempt: requeued with backoff, quarantined when the
+	// budget runs out — a mis-stamping worker can slow an item down but
+	// never slip an unattested result into the store.
+	VerifyCompletion func(kind string, payload, result, stamp json.RawMessage) error
 	// Logger receives structured coordinator logs; nil discards.
 	Logger *slog.Logger
 
@@ -176,6 +184,7 @@ type Coordinator struct {
 	staleReports  uint64
 	evicted       uint64
 	unknownCalls  uint64
+	stampRejected uint64
 }
 
 // NewCoordinator returns a coordinator with the given configuration.
@@ -395,8 +404,10 @@ func (c *Coordinator) Heartbeat(workerName string, ids []string) (lost []string,
 // worker. A report for a lease the worker no longer holds is dropped as
 // stale — the first valid completion wins, which is harmless because
 // every item is a deterministic simulation. A failure report costs one
-// attempt and requeues the item with backoff (or quarantines it).
-func (c *Coordinator) Complete(workerName, id string, result json.RawMessage, errMsg string) (accepted bool, err error) {
+// attempt and requeues the item with backoff (or quarantines it), and
+// so does a successful report whose provenance stamp fails
+// Config.VerifyCompletion.
+func (c *Coordinator) Complete(workerName, id string, result, stamp json.RawMessage, errMsg string) (accepted bool, err error) {
 	c.mu.Lock()
 	now := c.conf.now()
 	c.sweepLocked(now)
@@ -418,6 +429,18 @@ func (c *Coordinator) Complete(workerName, id string, result json.RawMessage, er
 		c.log.Warn("attempt failed", "item", id, "worker", workerName, "attempts", it.attempts, "err", errMsg)
 		c.mu.Unlock()
 		return true, nil
+	}
+	if c.conf.VerifyCompletion != nil {
+		if verr := c.conf.VerifyCompletion(it.Kind, it.Payload, result, stamp); verr != nil {
+			c.stampRejected++
+			it.lastErr = "provenance stamp rejected: " + verr.Error()
+			w.requeued++
+			c.requeueLocked(it, now)
+			c.log.Warn("completion stamp rejected", "item", id, "worker", workerName,
+				"attempts", it.attempts, "err", verr.Error())
+			c.mu.Unlock()
+			return false, nil
+		}
 	}
 	it.state = ItemDone
 	it.result = result
@@ -547,6 +570,9 @@ type Stats struct {
 	Completed     uint64 `json:"completed"`
 	QuarantinedN  uint64 `json:"quarantined_total"`
 	StaleReports  uint64 `json:"stale_reports"`
+	// StampRejected counts successful completions refused because their
+	// provenance stamp failed verification.
+	StampRejected uint64 `json:"stamp_rejected"`
 	// WorkersEvicted counts workers dropped from the ring after missing
 	// enough heartbeats; UnknownWorkerCalls counts protocol calls
 	// rejected with ErrUnknownWorker (each one is a worker being pushed
@@ -564,12 +590,13 @@ func (c *Coordinator) Stats() Stats {
 	defer c.mu.Unlock()
 	c.sweepLocked(c.conf.now())
 	s := Stats{
-		LeasesGranted: c.leasesGranted,
-		LeaseExpired:  c.leaseExpired,
-		Requeued:      c.requeued,
-		Completed:     c.completed,
+		LeasesGranted:      c.leasesGranted,
+		LeaseExpired:       c.leaseExpired,
+		Requeued:           c.requeued,
+		Completed:          c.completed,
 		QuarantinedN:       c.quarantined,
 		StaleReports:       c.staleReports,
+		StampRejected:      c.stampRejected,
 		WorkersEvicted:     c.evicted,
 		UnknownWorkerCalls: c.unknownCalls,
 	}

@@ -31,7 +31,7 @@ func TestStrictRegistrationRejectsUnknownWorker(t *testing.T) {
 	if _, err := co.Heartbeat("ghost", []string{"x"}); !errors.Is(err, ErrUnknownWorker) {
 		t.Fatalf("Heartbeat from unregistered worker = %v, want ErrUnknownWorker", err)
 	}
-	if _, err := co.Complete("ghost", "x", nil, ""); !errors.Is(err, ErrUnknownWorker) {
+	if _, err := co.Complete("ghost", "x", nil, nil, ""); !errors.Is(err, ErrUnknownWorker) {
 		t.Fatalf("Complete from unregistered worker = %v, want ErrUnknownWorker", err)
 	}
 	if s := co.Stats(); s.UnknownWorkerCalls != 3 {
@@ -221,7 +221,7 @@ func TestRequeueBackoffJitterDeterministic(t *testing.T) {
 		if got, err := co.Lease("w1", 1); err != nil || len(got) != 1 {
 			t.Fatalf("lease = (%v, %v)", got, err)
 		}
-		if _, err := co.Complete("w1", id, nil, "boom"); err != nil {
+		if _, err := co.Complete("w1", id, nil, nil, "boom"); err != nil {
 			t.Fatal(err)
 		}
 		co.mu.Lock()

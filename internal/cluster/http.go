@@ -50,7 +50,10 @@ type completeRequest struct {
 	Worker string          `json:"worker"`
 	ID     string          `json:"id"`
 	Result json.RawMessage `json:"result,omitempty"`
-	Error  string          `json:"error,omitempty"`
+	// Stamp is the worker's provenance attestation (a ledger.Stamp)
+	// over the result; see stamp.go.
+	Stamp json.RawMessage `json:"stamp,omitempty"`
+	Error string          `json:"error,omitempty"`
 }
 
 type completeResponse struct {
@@ -107,7 +110,7 @@ func (c *Coordinator) Handler() http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		accepted, err := c.Complete(req.Worker, req.ID, req.Result, req.Error)
+		accepted, err := c.Complete(req.Worker, req.ID, req.Result, req.Stamp, req.Error)
 		if err != nil {
 			httpErr(w, statusFor(err), err)
 			return

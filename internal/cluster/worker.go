@@ -317,6 +317,10 @@ func (w *Worker) runBatch(ctx context.Context, items []Item) {
 		if err != nil {
 			req.Result = nil
 			req.Error = err.Error()
+		} else if stamp, serr := StampCompletion(it.Kind, it.Payload, result); serr == nil {
+			// Every successful completion is stamped; a coordinator
+			// running without verification simply ignores it.
+			req.Stamp = stamp
 		}
 		var resp completeResponse
 		if perr := w.post(ctx, "/complete", req, &resp); perr != nil {

@@ -1,0 +1,167 @@
+package ledger
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/resultstore"
+)
+
+// AuditReport is the outcome of cross-checking a store against its
+// ledger. The failure classes are distinct because they mean different
+// things: Divergent is a lie (bytes disagree with a sealed commitment),
+// Unledgered is truncation or bypass (entries the chain never sealed),
+// Missing is loss (sealed results with no surviving entry — for a
+// cache, a re-simulation away from recovery rather than a lie).
+type AuditReport struct {
+	// Entries is the number of live store entries examined.
+	Entries int `json:"entries"`
+	// Ledgered counts entries whose digest matches their newest sealed
+	// result leaf.
+	Ledgered int `json:"ledgered"`
+	// Records and Leaves describe the verified chain.
+	Records int `json:"records"`
+	// Leaves is the total leaf count across all sealed batches.
+	Leaves int `json:"leaves"`
+	// Head is the chain tip ("" for an empty ledger).
+	Head string `json:"head"`
+	// Divergent lists keys whose entry verifies locally but disagrees
+	// with the sealed digest, or whose bytes fail verification outright.
+	Divergent []string `json:"divergent,omitempty"`
+	// Unledgered lists live, verified entries with no sealed result leaf.
+	Unledgered []string `json:"unledgered,omitempty"`
+	// Missing lists sealed result keys with no live store entry.
+	Missing []string `json:"missing,omitempty"`
+}
+
+// Err distills the report into pass/fail. Divergence always fails.
+// Unledgered entries fail unless allowUnledgered (a store written
+// without the ledger enabled is truncation from the auditor's view —
+// run backfill first). Missing entries fail only when requirePresent:
+// a content-addressed cache may legitimately have quarantined an entry
+// it will re-simulate, and the ledger's word still stands.
+func (r AuditReport) Err(allowUnledgered, requirePresent bool) error {
+	var probs []string
+	if len(r.Divergent) > 0 {
+		probs = append(probs, fmt.Sprintf("%d divergent", len(r.Divergent)))
+	}
+	if !allowUnledgered && len(r.Unledgered) > 0 {
+		probs = append(probs, fmt.Sprintf("%d unledgered", len(r.Unledgered)))
+	}
+	if requirePresent && len(r.Missing) > 0 {
+		probs = append(probs, fmt.Sprintf("%d missing", len(r.Missing)))
+	}
+	if len(probs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("ledger: audit failed: %s", strings.Join(probs, ", "))
+}
+
+// Audit walks every live entry of st and cross-checks it against lg,
+// then checks the reverse direction (sealed results that vanished from
+// the store). The walk never mutates the store, so an audit can run
+// against a serving deployment; pair it with Scrub when quarantining
+// is wanted.
+func Audit(st *resultstore.Store, lg *Ledger) (AuditReport, error) {
+	var rep AuditReport
+	head := lg.Head()
+	rep.Records, rep.Leaves, rep.Head = head.Records, head.Leaves, head.Head
+
+	inStore := make(map[string]bool)
+	err := st.Walk(func(key string, raw []byte, readErr error) error {
+		rep.Entries++
+		inStore[key] = true
+		if readErr != nil {
+			rep.Divergent = append(rep.Divergent, key)
+			return nil
+		}
+		info, verr := resultstore.VerifyEntry(key, raw)
+		if verr != nil {
+			rep.Divergent = append(rep.Divergent, key)
+			return nil
+		}
+		sealed, ok := lg.LatestResultDigest(key)
+		switch {
+		case !ok:
+			rep.Unledgered = append(rep.Unledgered, key)
+		case sealed != info.Digest:
+			rep.Divergent = append(rep.Divergent, key)
+		default:
+			rep.Ledgered++
+		}
+		return nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	for _, rec := range lg.Records() {
+		for _, leaf := range rec.Leaves {
+			if leaf.Kind == LeafResult && !inStore[leaf.Key] {
+				rep.Missing = append(rep.Missing, leaf.Key)
+			}
+		}
+	}
+	sort.Strings(rep.Divergent)
+	sort.Strings(rep.Unledgered)
+	rep.Missing = dedupSorted(rep.Missing)
+	return rep, nil
+}
+
+func dedupSorted(s []string) []string {
+	sort.Strings(s)
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || s[i-1] != v {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Backfill seals result leaves for every live, verified entry the
+// ledger has not sealed yet — how a store written before the ledger
+// existed (or with it disabled) is brought under the chain. Leaves
+// built from disk carry the digest and the producing revision the
+// entry recorded; the config fingerprint is unavailable after the fact
+// and left empty. Returns the number of entries sealed.
+func Backfill(ctx context.Context, st *resultstore.Store, b *Batcher) (int, error) {
+	var tickets []*Ticket
+	err := st.Walk(func(key string, raw []byte, readErr error) error {
+		if readErr != nil {
+			return nil // unreadable: Scrub's problem, not backfill's
+		}
+		info, verr := resultstore.VerifyEntry(key, raw)
+		if verr != nil {
+			return nil // corrupt: quarantine via Scrub, don't seal lies
+		}
+		if _, ok := b.lg.LatestResultDigest(key); ok {
+			return nil
+		}
+		leaf := Leaf{
+			Kind:     LeafResult,
+			Key:      info.Key,
+			Digest:   info.Digest,
+			Revision: info.Rev,
+		}
+		if parts := strings.SplitN(info.Job, "/", 3); len(parts) == 3 {
+			leaf.Workload, leaf.Scheme = parts[0], parts[1]
+		}
+		tickets = append(tickets, b.Submit(leaf))
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	b.Flush()
+	for _, t := range tickets {
+		if _, werr := t.Wait(ctx); werr != nil {
+			return 0, werr
+		}
+	}
+	return len(tickets), nil
+}

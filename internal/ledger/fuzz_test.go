@@ -1,0 +1,183 @@
+package ledger_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ledger"
+	"repro/internal/resultstore"
+)
+
+// fuzzFixture is one sealed provenance story: a store entry, the chain
+// that committed to it, and an inclusion proof — the three byte strings
+// a forger would have to mutate.
+type fuzzFixture struct {
+	key       string
+	entryRaw  []byte
+	sealed    string // digest the chain committed to
+	proof     ledger.InclusionProof
+	proofJSON []byte
+	ledgerRaw []byte
+	records   []ledger.Record
+	lg        *ledger.Ledger
+}
+
+func buildFixture(tb testing.TB) *fuzzFixture {
+	dir := tb.TempDir()
+	st, err := resultstore.Open(dir)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	lg, err := ledger.Open(ledger.DefaultPath(dir), nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b := ledger.NewBatcher(lg, 1, time.Minute)
+	rs := ledger.NewRecordingStore(st, b)
+	j := testJob()
+	key := j.Fingerprint()
+	if err := rs.Store(key, j, testResult(9)); err != nil {
+		tb.Fatal(err)
+	}
+	b.Close()
+	p, err := lg.Proof(key, ledger.LeafResult)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	proofJSON, err := json.Marshal(p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*", key+".json"))
+	if err != nil || len(matches) != 1 {
+		tb.Fatalf("locating entry: %v %v", matches, err)
+	}
+	entryRaw, err := os.ReadFile(matches[0])
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ledgerRaw, err := os.ReadFile(ledger.DefaultPath(dir))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return &fuzzFixture{
+		key: key, entryRaw: entryRaw, sealed: p.Leaf.Digest,
+		proof: p, proofJSON: proofJSON,
+		ledgerRaw: ledgerRaw, records: lg.Records(), lg: lg,
+	}
+}
+
+// checkEntryMutation is the oracle for a single-byte entry mutation:
+// either verification rejects the bytes, or the mutation left the
+// committed surface — key, digest, result bytes, schema validity —
+// untouched (annotation fields and JSON spelling are not committed).
+func (fx *fuzzFixture) checkEntryMutation(t *testing.T, mut []byte) {
+	info, err := resultstore.VerifyEntry(fx.key, mut)
+	if err != nil {
+		return // detected
+	}
+	if info.Key != fx.key || info.Digest != fx.sealed {
+		t.Fatalf("mutated entry verifies with (key %q, digest %.12s..), sealed was (key %q, digest %.12s..)",
+			info.Key, info.Digest, fx.key, fx.sealed)
+	}
+}
+
+// canonicalizeProof lowercases the path's hex — VerifyProof decodes it,
+// so "AB" and "ab" are the same commitment, not a mutation.
+func canonicalizeProof(p ledger.InclusionProof) ledger.InclusionProof {
+	path := make([]string, len(p.Path))
+	for i, s := range p.Path {
+		path[i] = strings.ToLower(s)
+	}
+	p.Path = path
+	return p
+}
+
+// checkProofMutation: a mutated proof must either fail to parse, decode
+// to the same proof (field-name case, hex case), or fail VerifyProof.
+func (fx *fuzzFixture) checkProofMutation(t *testing.T, mut []byte) {
+	var p ledger.InclusionProof
+	if json.Unmarshal(mut, &p) != nil {
+		return
+	}
+	if reflect.DeepEqual(canonicalizeProof(p), canonicalizeProof(fx.proof)) {
+		return
+	}
+	if fx.lg.VerifyProof(p) == nil {
+		t.Fatalf("mutated proof still verifies: %+v", p)
+	}
+}
+
+// checkLedgerMutation: a mutated ledger file must either fail Open's
+// full-chain verification or decode to the identical chain.
+func (fx *fuzzFixture) checkLedgerMutation(t *testing.T, mut []byte) {
+	path := filepath.Join(t.TempDir(), ledger.FileName)
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := ledger.Open(path, nil)
+	if err != nil {
+		return // detected
+	}
+	if !reflect.DeepEqual(re.Records(), fx.records) {
+		t.Fatal("mutated ledger opened with a different chain")
+	}
+}
+
+func flipAt(data []byte, pos uint64, delta byte) []byte {
+	mut := append([]byte(nil), data...)
+	mut[pos%uint64(len(mut))] ^= delta
+	return mut
+}
+
+// FuzzProofVerify drives single-byte mutations into each of the three
+// provenance byte strings — the store entry, the serialized inclusion
+// proof, and the ledger file — and asserts none of them can keep
+// verifying with altered committed content. The checked-in corpus in
+// testdata seeds one mutation per surface per delta class (low bit,
+// case bit, high bit) at several offsets.
+func FuzzProofVerify(f *testing.F) {
+	fx := buildFixture(f)
+	for _, which := range []uint64{0, 1, 2} {
+		for _, pos := range []uint64{0, 17, 200, 5000} {
+			for _, delta := range []uint64{0x01, 0x20, 0x80} {
+				f.Add(which, pos, delta)
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, which, pos, delta uint64) {
+		d := byte(delta)
+		if d == 0 {
+			return // identity mutation proves nothing
+		}
+		switch which % 3 {
+		case 0:
+			fx.checkEntryMutation(t, flipAt(fx.entryRaw, pos, d))
+		case 1:
+			fx.checkProofMutation(t, flipAt(fx.proofJSON, pos, d))
+		case 2:
+			fx.checkLedgerMutation(t, flipAt(fx.ledgerRaw, pos, d))
+		}
+	})
+}
+
+// TestEveryByteProofAndEntryMutation exhaustively sweeps the two small
+// surfaces with three representative deltas — the deterministic
+// counterpart of the fuzzer (the ledger file sweep lives in
+// TestEveryByteMutationDetected).
+func TestEveryByteProofAndEntryMutation(t *testing.T) {
+	fx := buildFixture(t)
+	for _, delta := range []byte{0x01, 0x20, 0x80} {
+		for pos := range fx.entryRaw {
+			fx.checkEntryMutation(t, flipAt(fx.entryRaw, uint64(pos), delta))
+		}
+		for pos := range fx.proofJSON {
+			fx.checkProofMutation(t, flipAt(fx.proofJSON, uint64(pos), delta))
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package ledger
+
+import (
+	"repro/internal/engine"
+	"repro/internal/provenance"
+	"repro/internal/resultstore"
+)
+
+// ResultLeaf builds the provenance leaf a stored copy of res commits
+// to: the entry digest (exactly as resultstore records it), the job's
+// config fingerprint, scheme and workload, and the running binary's
+// VCS revision.
+func ResultLeaf(key string, j engine.Job, res *engine.Result) (Leaf, error) {
+	d, err := resultstore.EntryDigest(res)
+	if err != nil {
+		return Leaf{}, err
+	}
+	return Leaf{
+		Kind:     LeafResult,
+		Key:      key,
+		Digest:   d,
+		ConfigFP: j.Config.Fingerprint(),
+		Scheme:   j.Scheme.String(),
+		Workload: j.Kind.Abbrev(),
+		Revision: provenance.Revision(),
+	}, nil
+}
+
+// RecordingStore wraps an engine.ResultStore so every successful Store
+// also submits a result leaf to the batcher — the engine-side hook
+// that makes the ledger complete without the engine knowing ledgers
+// exist. Loads pass straight through. Submission is non-blocking (the
+// simulation pool never waits on ledger fsyncs); closing the batcher
+// at shutdown seals whatever is still pending.
+type RecordingStore struct {
+	inner   engine.ResultStore
+	batcher *Batcher
+}
+
+// NewRecordingStore wraps inner so writes are recorded via b.
+func NewRecordingStore(inner engine.ResultStore, b *Batcher) *RecordingStore {
+	return &RecordingStore{inner: inner, batcher: b}
+}
+
+// Load implements engine.ResultStore.
+func (r *RecordingStore) Load(key string) (*engine.Result, error) {
+	return r.inner.Load(key)
+}
+
+// Store implements engine.ResultStore: persist first, then record. A
+// leaf is only submitted for a write the store accepted, so the ledger
+// never attests to an entry that was refused.
+func (r *RecordingStore) Store(key string, j engine.Job, res *engine.Result) error {
+	if err := r.inner.Store(key, j, res); err != nil {
+		return err
+	}
+	if leaf, err := ResultLeaf(key, j, res); err == nil {
+		r.batcher.Submit(leaf)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+// Package provenance answers one question for every layer that records
+// results: which code produced this? The answer is the VCS revision Go
+// stamped into the binary at build time (debug.ReadBuildInfo), with a
+// "-dirty" suffix when the working tree had uncommitted changes — the
+// "code version that produced it" field of the result ledger, the
+// result-store schema, and /healthz.
+//
+// Binaries built outside a VCS checkout (go test in a tarball, go run on
+// a bare tree) carry no stamp; Revision then reports "unknown" rather
+// than guessing, so a ledger never records a revision the binary cannot
+// actually vouch for.
+package provenance
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Unknown is the revision reported when the binary carries no VCS stamp.
+const Unknown = "unknown"
+
+var (
+	once sync.Once
+	rev  string
+)
+
+// readBuildInfo is stubbed in tests to exercise the stamped and
+// unstamped paths without rebuilding the binary.
+var readBuildInfo = debug.ReadBuildInfo
+
+// Revision returns the VCS revision baked into the running binary,
+// suffixed with "-dirty" when the build tree had local modifications,
+// or Unknown when the binary carries no stamp. The value is computed
+// once and cached; it cannot change within a process.
+func Revision() string {
+	once.Do(func() { rev = revisionFrom(readBuildInfo) })
+	return rev
+}
+
+// revisionFrom extracts the revision from one build-info source.
+func revisionFrom(read func() (*debug.BuildInfo, bool)) string {
+	info, ok := read()
+	if !ok {
+		return Unknown
+	}
+	var revision string
+	var dirty bool
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if revision == "" {
+		return Unknown
+	}
+	if dirty {
+		return revision + "-dirty"
+	}
+	return revision
+}

@@ -1,0 +1,47 @@
+package provenance
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+func fakeInfo(settings map[string]string) func() (*debug.BuildInfo, bool) {
+	return func() (*debug.BuildInfo, bool) {
+		info := &debug.BuildInfo{}
+		for k, v := range settings {
+			info.Settings = append(info.Settings, debug.BuildSetting{Key: k, Value: v})
+		}
+		return info, true
+	}
+}
+
+func TestRevisionFrom(t *testing.T) {
+	cases := []struct {
+		name     string
+		settings map[string]string
+		noInfo   bool
+		want     string
+	}{
+		{name: "clean", settings: map[string]string{"vcs.revision": "abc123", "vcs.modified": "false"}, want: "abc123"},
+		{name: "dirty", settings: map[string]string{"vcs.revision": "abc123", "vcs.modified": "true"}, want: "abc123-dirty"},
+		{name: "no stamp", settings: map[string]string{}, want: Unknown},
+		{name: "no build info", noInfo: true, want: Unknown},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			read := fakeInfo(tc.settings)
+			if tc.noInfo {
+				read = func() (*debug.BuildInfo, bool) { return nil, false }
+			}
+			if got := revisionFrom(read); got != tc.want {
+				t.Fatalf("revisionFrom = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRevisionIsStable(t *testing.T) {
+	if a, b := Revision(), Revision(); a != b || a == "" {
+		t.Fatalf("Revision unstable or empty: %q then %q", a, b)
+	}
+}

@@ -19,6 +19,18 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	return writeFileAtomic(osFS{}, path, data, perm)
 }
 
+// WriteFileAtomicFS is WriteFileAtomic over an explicit filesystem, for
+// callers outside this package (the provenance ledger) that publish
+// through the same — possibly chaos-wrapped — FS as the store, so fault
+// injection reaches their writes too. fsys == nil means the real
+// filesystem.
+func WriteFileAtomicFS(fsys FS, path string, data []byte, perm os.FileMode) error {
+	if fsys == nil {
+		fsys = osFS{}
+	}
+	return writeFileAtomic(fsys, path, data, perm)
+}
+
 // writeFileAtomic is WriteFileAtomic over an explicit filesystem — the
 // seam the store threads its (possibly chaos-wrapped) FS through.
 func writeFileAtomic(fsys FS, path string, data []byte, perm os.FileMode) error {

@@ -45,11 +45,11 @@ type osFS struct{}
 // the identity layer chaos wrappers nest around.
 func OSFS() FS { return osFS{} }
 
-func (osFS) ReadFile(name string) ([]byte, error)           { return os.ReadFile(name) }
-func (osFS) MkdirAll(path string, perm os.FileMode) error   { return os.MkdirAll(path, perm) }
-func (osFS) Remove(name string) error                       { return os.Remove(name) }
-func (osFS) Rename(oldpath, newpath string) error           { return os.Rename(oldpath, newpath) }
-func (osFS) SyncDir(dir string) error                       { return syncDir(dir) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) SyncDir(dir string) error                     { return syncDir(dir) }
 func (osFS) CreateTemp(dir, pattern string) (File, error) {
 	f, err := os.CreateTemp(dir, pattern)
 	if err != nil {

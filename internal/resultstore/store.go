@@ -34,7 +34,6 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
@@ -42,18 +41,29 @@ import (
 	"sync/atomic"
 
 	"repro/internal/engine"
+	"repro/internal/provenance"
 	"repro/internal/stats"
 )
 
-// schemaVersion is bumped whenever the entry encoding changes shape;
-// entries with another schema are misses. Version 2 added the result
-// payload digest.
-const schemaVersion = 2
+// schemaVersion is bumped whenever the entry encoding changes shape.
+// Version 2 added the result payload digest; version 3 added the VCS
+// revision of the producing binary. Entries older than minSchemaVersion
+// (or newer than schemaVersion) are misses.
+const (
+	schemaVersion    = 3
+	minSchemaVersion = 2
+)
 
 // quarantineDir is the subdirectory corrupt entries are renamed into.
 // It is outside the shard namespace (shards are two hex characters), so
 // quarantined files can never shadow a live key.
 const quarantineDir = "quarantine"
+
+// LedgerDir is the subdirectory (next to the shards, like quarantine/)
+// where the provenance ledger lives. The store's traversals skip it; it
+// is owned by internal/ledger and exported here only so both packages
+// agree on the name.
+const LedgerDir = "ledger"
 
 // ErrCorruptEntry marks an entry that was present on disk but failed
 // verification: unparseable, truncated, wrong key, wrong schema, or a
@@ -74,6 +84,7 @@ type entry struct {
 	Schema int             `json:"schema"`
 	Key    string          `json:"key"`
 	Job    string          `json:"job"` // human-readable tuple, for debugging only
+	Rev    string          `json:"rev,omitempty"`
 	Digest string          `json:"digest"`
 	Result json.RawMessage `json:"result"`
 }
@@ -107,6 +118,10 @@ type Counters struct {
 type Store struct {
 	dir string
 	fs  FS
+
+	// verifier, when set, lets Scrub cross-check healthy entries
+	// against the provenance ledger (see SetVerifier).
+	verifier atomic.Pointer[Verifier]
 
 	hits        atomic.Uint64
 	misses      atomic.Uint64
@@ -165,30 +180,79 @@ func digest(raw []byte) string {
 }
 
 // decode verifies one on-disk document against the key it lives under
-// and returns the result it carries. Any failure means the entry is
-// corrupt (or foreign) and must not be served.
-func decode(key string, data []byte) (*engine.Result, error) {
+// and returns the result it carries plus the verified entry envelope.
+// Any failure means the entry is corrupt (or foreign) and must not be
+// served. Schema 2 entries (no revision field) remain readable: the
+// digest discipline is identical, they just predate provenance.
+func decode(key string, data []byte) (*engine.Result, *entry, error) {
 	var e entry
 	if err := json.Unmarshal(data, &e); err != nil {
-		return nil, fmt.Errorf("unparseable: %w", err)
+		return nil, nil, fmt.Errorf("unparseable: %w", err)
 	}
-	if e.Schema != schemaVersion {
-		return nil, fmt.Errorf("schema %d, want %d", e.Schema, schemaVersion)
+	if e.Schema < minSchemaVersion || e.Schema > schemaVersion {
+		return nil, nil, fmt.Errorf("schema %d, want %d..%d", e.Schema, minSchemaVersion, schemaVersion)
 	}
 	if e.Key != key {
-		return nil, fmt.Errorf("key %q under name %q", e.Key, key)
+		return nil, nil, fmt.Errorf("key %q under name %q", e.Key, key)
 	}
 	if got := digest(e.Result); got != e.Digest {
-		return nil, fmt.Errorf("result digest %.12s.., recorded %.12s..", got, e.Digest)
+		return nil, nil, fmt.Errorf("result digest %.12s.., recorded %.12s..", got, e.Digest)
 	}
 	var r result
 	if err := json.Unmarshal(e.Result, &r); err != nil {
-		return nil, fmt.Errorf("result payload: %w", err)
+		return nil, nil, fmt.Errorf("result payload: %w", err)
 	}
 	if r.Report == nil {
-		return nil, errors.New("entry carries no report")
+		return nil, nil, errors.New("entry carries no report")
 	}
-	return &engine.Result{Report: r.Report, EmittedLogFlushes: r.EmittedLogFlushes}, nil
+	return &engine.Result{Report: r.Report, EmittedLogFlushes: r.EmittedLogFlushes}, &e, nil
+}
+
+// EntryInfo is the provenance-relevant view of one verified entry.
+type EntryInfo struct {
+	// Key is the job fingerprint the entry is stored under.
+	Key string `json:"key"`
+	// Job is the human-readable "kind/scheme/mem" tuple.
+	Job string `json:"job"`
+	// Rev is the VCS revision of the binary that produced the entry
+	// (provenance.Unknown for schema-2 entries, which predate it).
+	Rev string `json:"rev"`
+	// Digest is the sha256 over the entry's raw result bytes — the value
+	// a ledger leaf records and an audit compares.
+	Digest string `json:"digest"`
+	// Schema is the entry's on-disk schema version.
+	Schema int `json:"schema"`
+}
+
+// VerifyEntry runs the full Load-path verification on one raw on-disk
+// document (as handed to a Walk callback) without touching the store,
+// and returns its provenance view. It is the audit primitive: a
+// non-nil error means the bytes would be quarantined on Load.
+func VerifyEntry(key string, raw []byte) (EntryInfo, error) {
+	_, e, err := decode(key, raw)
+	if err != nil {
+		return EntryInfo{}, fmt.Errorf("%w: key %s: %v", ErrCorruptEntry, key, err)
+	}
+	rev := e.Rev
+	if rev == "" {
+		rev = provenance.Unknown
+	}
+	return EntryInfo{Key: e.Key, Job: e.Job, Rev: rev, Digest: e.Digest, Schema: e.Schema}, nil
+}
+
+// EntryDigest computes the digest a stored copy of res would carry —
+// sha256 over the canonical encoding of the result payload, exactly as
+// Store records it. It is what ledger leaves commit to, computed
+// without a store round-trip.
+func EntryDigest(res *engine.Result) (string, error) {
+	if res == nil || res.Report == nil {
+		return "", errors.New("resultstore: empty result has no digest")
+	}
+	raw, err := json.Marshal(result{Report: res.Report, EmittedLogFlushes: res.EmittedLogFlushes})
+	if err != nil {
+		return "", fmt.Errorf("resultstore: %w", err)
+	}
+	return digest(raw), nil
 }
 
 // Load implements engine.ResultStore: it returns the stored result for
@@ -210,7 +274,7 @@ func (s *Store) Load(key string) (*engine.Result, error) {
 		}
 		return nil, nil
 	}
-	res, verr := decode(key, data)
+	res, _, verr := decode(key, data)
 	if verr != nil {
 		s.misses.Add(1)
 		s.corrupt.Add(1)
@@ -262,6 +326,7 @@ func (s *Store) Store(key string, j engine.Job, res *engine.Result) error {
 		Schema: schemaVersion,
 		Key:    key,
 		Job:    j.String(),
+		Rev:    provenance.Revision(),
 		Digest: digest(raw),
 		Result: raw,
 	}
@@ -283,23 +348,83 @@ func (s *Store) Store(key string, j engine.Job, res *engine.Result) error {
 	return nil
 }
 
-// Len walks the store and returns the number of live entries on disk
-// (quarantined files are not entries).
-func (s *Store) Len() (int, error) {
-	n := 0
+// scanResult is one deterministic pass over the store's directory tree:
+// live entries sorted by key, leftover temp files from crashed writers,
+// and the count of quarantined corpses. Every traversal consumer — Len,
+// Walk, Scrub, Quarantined, the ledger's backfill and audit — is built
+// on this one walk, so they all agree on what "the store's contents"
+// means (quarantine/ is corpses, ledger/ is not entries, temps are not
+// entries).
+type scanResult struct {
+	live        []liveEntry
+	temps       []string
+	quarantined int
+}
+
+type liveEntry struct {
+	key  string
+	path string
+}
+
+func (s *Store) scan() (scanResult, error) {
+	var sc scanResult
 	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
-		if d.IsDir() && d.Name() == quarantineDir {
-			return fs.SkipDir
+		if d.IsDir() {
+			if path != s.dir && d.Name() == LedgerDir {
+				return fs.SkipDir
+			}
+			return nil
 		}
-		if !d.IsDir() && filepath.Ext(path) == ".json" && !strings.Contains(d.Name(), ".tmp-") {
-			n++
+		if filepath.Base(filepath.Dir(path)) == quarantineDir {
+			sc.quarantined++
+			return nil
 		}
+		if strings.Contains(d.Name(), ".tmp-") {
+			sc.temps = append(sc.temps, path)
+			return nil
+		}
+		if filepath.Ext(path) != ".json" {
+			return nil
+		}
+		sc.live = append(sc.live, liveEntry{key: strings.TrimSuffix(d.Name(), ".json"), path: path})
 		return nil
 	})
-	return n, err
+	sort.Slice(sc.live, func(i, j int) bool { return sc.live[i].key < sc.live[j].key })
+	return sc, err
+}
+
+// Len walks the store and returns the number of live entries on disk
+// (quarantined files are not entries).
+func (s *Store) Len() (int, error) {
+	sc, err := s.scan()
+	return len(sc.live), err
+}
+
+// Walk visits every live entry in ascending key order, handing the
+// callback the key, the raw on-disk bytes, and any read error for that
+// entry (the walk continues either way; a non-nil readErr comes with
+// nil raw bytes). Returning a non-nil error from fn stops the walk and
+// propagates the error. Walk does not verify entries — pair it with
+// VerifyEntry — and never mutates the store, so auditors can run it
+// against a store that is actively serving.
+func (s *Store) Walk(fn func(key string, raw []byte, readErr error) error) error {
+	sc, err := s.scan()
+	if err != nil {
+		return err
+	}
+	for _, le := range sc.live {
+		data, rerr := s.fs.ReadFile(le.path)
+		if rerr != nil {
+			data = nil
+		}
+		if ferr := fn(le.key, data, rerr); ferr != nil {
+			return ferr
+		}
+	}
+	return nil
 }
 
 // ScrubReport summarizes one Scrub pass.
@@ -315,6 +440,11 @@ type ScrubReport struct {
 	// TempsRemoved counts leftover .tmp- files (crashed writers) that
 	// were swept away.
 	TempsRemoved int `json:"temps_removed"`
+	// Diverged lists keys whose entries verified locally but disagree
+	// with the external verifier (the provenance ledger): the bytes are
+	// internally consistent yet not the bytes the ledger committed to.
+	// Sorted; empty when no verifier is installed.
+	Diverged []string `json:"diverged,omitempty"`
 }
 
 // Scrub walks every live entry, verifies it exactly as Load would, and
@@ -327,61 +457,61 @@ type ScrubReport struct {
 // drops store-write errors, so the worst case is one re-simulation).
 func (s *Store) Scrub() (ScrubReport, error) {
 	var rep ScrubReport
-	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
+	verify := s.verifier.Load()
+	sc, err := s.scan()
+	if err != nil {
+		return rep, err
+	}
+	for _, tmp := range sc.temps {
+		if s.fs.Remove(tmp) == nil {
+			rep.TempsRemoved++
 		}
-		if d.IsDir() {
-			if d.Name() == quarantineDir {
-				return fs.SkipDir
-			}
-			return nil
-		}
-		if strings.Contains(d.Name(), ".tmp-") {
-			if s.fs.Remove(path) == nil {
-				rep.TempsRemoved++
-			}
-			return nil
-		}
-		if filepath.Ext(path) != ".json" {
-			return nil
-		}
-		key := strings.TrimSuffix(d.Name(), ".json")
+	}
+	for _, le := range sc.live {
 		rep.Scanned++
-		data, rerr := s.fs.ReadFile(path)
+		data, rerr := s.fs.ReadFile(le.path)
 		if rerr != nil {
 			s.errs.Add(1)
-			return nil
+			continue
 		}
-		if _, verr := decode(key, data); verr != nil {
+		_, e, verr := decode(le.key, data)
+		if verr != nil {
 			rep.Corrupt++
-			rep.Quarantined = append(rep.Quarantined, key)
+			rep.Quarantined = append(rep.Quarantined, le.key)
 			s.corrupt.Add(1)
-			s.quarantine(path, key)
-			return nil
+			s.quarantine(le.path, le.key)
+			continue
 		}
 		rep.Healthy++
-		return nil
-	})
+		if verify != nil && *verify != nil {
+			if cerr := (*verify)(le.key, e.Digest); cerr != nil {
+				rep.Diverged = append(rep.Diverged, le.key)
+			}
+		}
+	}
 	sort.Strings(rep.Quarantined)
+	sort.Strings(rep.Diverged)
 	return rep, err
+}
+
+// Verifier cross-checks one locally-verified entry against an external
+// source of truth — in practice the provenance ledger. It receives the
+// entry's key and recorded digest and returns a non-nil error when the
+// external record disagrees. Entries the external source has never
+// heard of should return nil: absence means "not ledgered yet" (a
+// pending batch), not divergence.
+type Verifier func(key, digest string) error
+
+// SetVerifier installs (or, with nil, removes) the external verifier
+// Scrub consults for every healthy entry. Safe to call concurrently
+// with Scrub; typically wired once at startup to the ledger.
+func (s *Store) SetVerifier(v Verifier) {
+	s.verifier.Store(&v)
 }
 
 // Quarantined returns the number of files currently parked in the
 // quarantine directory (not the lifetime counter — the on-disk truth).
 func (s *Store) Quarantined() (int, error) {
-	ents, err := os.ReadDir(filepath.Join(s.dir, quarantineDir))
-	if errors.Is(err, fs.ErrNotExist) {
-		return 0, nil
-	}
-	if err != nil {
-		return 0, err
-	}
-	n := 0
-	for _, e := range ents {
-		if !e.IsDir() {
-			n++
-		}
-	}
-	return n, nil
+	sc, err := s.scan()
+	return sc.quarantined, err
 }

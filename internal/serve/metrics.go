@@ -172,6 +172,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		mw.gauge("proteus_store_cache_hit_ratio", ratio)
 	}
 
+	// Provenance ledger: chain tip shape plus batcher throughput — the
+	// sealed/submitted gap is the current unflushed backlog.
+	if s.conf.Ledger != nil {
+		h := s.conf.Ledger.Head()
+		mw.gauge("proteus_ledger_records", float64(h.Records))
+		mw.gauge("proteus_ledger_leaves", float64(h.Leaves))
+	}
+	if s.conf.Admissions != nil {
+		bc := s.conf.Admissions.Counters()
+		mw.counter("proteus_ledger_leaves_submitted_total", bc.Submitted)
+		mw.counter("proteus_ledger_leaves_sealed_total", bc.Sealed)
+		mw.counter("proteus_ledger_batches_sealed_total", bc.Batches)
+		mw.counter("proteus_ledger_seal_errors_total", bc.Errors)
+	}
+
 	// Cluster coordinator: queue states, failure/requeue counters and
 	// per-worker gauges (leased, completed, requeued, lease expiries).
 	if s.conf.Cluster != nil {
@@ -187,6 +202,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		mw.counter("proteus_cluster_completed_total", cs.Completed)
 		mw.counter("proteus_cluster_quarantined_total", cs.QuarantinedN)
 		mw.counter("proteus_cluster_stale_reports_total", cs.StaleReports)
+		mw.counter("proteus_cluster_stamp_rejected_total", cs.StampRejected)
 		mw.counter("proteus_cluster_workers_evicted_total", cs.WorkersEvicted)
 		mw.counter("proteus_cluster_unknown_worker_total", cs.UnknownWorkerCalls)
 		for _, m := range []struct {

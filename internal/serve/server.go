@@ -39,6 +39,8 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/ledger"
+	"repro/internal/provenance"
 	"repro/internal/resultstore"
 )
 
@@ -80,6 +82,15 @@ type Config struct {
 	// store). With no workers connected, cluster jobs wait in the
 	// coordinator's queue until one joins.
 	Cluster *cluster.Coordinator
+	// Ledger, when non-nil, mounts the provenance endpoints
+	// (GET /v1/ledger/head, GET /v1/ledger/proof?key=…) over the
+	// store's tamper-evident ledger.
+	Ledger *ledger.Ledger
+	// Admissions, when non-nil, records every admitted submission as a
+	// batched ledger leaf; the inclusion proof appears in the task's
+	// status once its batch seals. Submission is non-blocking — the
+	// admission path never waits on ledger I/O.
+	Admissions *ledger.Batcher
 	// Logger receives structured request and task logs; nil discards.
 	Logger *slog.Logger
 }
@@ -112,6 +123,11 @@ type task struct {
 
 	cancel context.CancelFunc
 	done   chan struct{}
+
+	// admission, when the server ledgers admissions, resolves to the
+	// inclusion proof once the admission's batch seals. Written before
+	// the task becomes visible; read-only afterwards.
+	admission *ledger.Ticket
 
 	mu        sync.Mutex
 	state     State
@@ -267,6 +283,9 @@ func (s *Server) Submit(spec Spec) (*task, bool, error) {
 		s.metrics.jobsRejected.Add(1)
 		return nil, false, ErrQueueFull
 	}
+	if s.conf.Admissions != nil {
+		t.admission = s.conf.Admissions.Submit(admissionLeaf(fp, j))
+	}
 	s.tasks[t.id] = t
 	s.inflight[fp] = t
 	s.metrics.queueDepth.Add(1)
@@ -373,15 +392,16 @@ func (s *Server) Drain(ctx context.Context) error {
 // HTTP layer
 
 type statusResponse struct {
-	ID       string          `json:"id"`
-	Type     string          `json:"type"`
-	State    State           `json:"state"`
-	Merged   int             `json:"merged,omitempty"`
-	Error    string          `json:"error,omitempty"`
-	Result   json.RawMessage `json:"result,omitempty"`
-	Elapsed  string          `json:"elapsed,omitempty"`
-	Deduped  bool            `json:"deduped,omitempty"`
-	Location string          `json:"location,omitempty"`
+	ID        string                 `json:"id"`
+	Type      string                 `json:"type"`
+	State     State                  `json:"state"`
+	Merged    int                    `json:"merged,omitempty"`
+	Error     string                 `json:"error,omitempty"`
+	Result    json.RawMessage        `json:"result,omitempty"`
+	Elapsed   string                 `json:"elapsed,omitempty"`
+	Deduped   bool                   `json:"deduped,omitempty"`
+	Location  string                 `json:"location,omitempty"`
+	Admission *ledger.InclusionProof `json:"admission,omitempty"`
 }
 
 func (t *task) status(deduped bool) statusResponse {
@@ -402,7 +422,31 @@ func (t *task) status(deduped bool) statusResponse {
 	if !t.finished.IsZero() && !t.started.IsZero() {
 		out.Elapsed = t.finished.Sub(t.started).Round(time.Millisecond).String()
 	}
+	if t.admission != nil {
+		if p, err := t.admission.Proof(); err == nil {
+			out.Admission = &p
+		}
+	}
 	return out
+}
+
+// admissionLeaf records what the serve path accepted: the singleflight
+// fingerprint, the job tuple when it is a single simulation (figure and
+// campaign specs keep the spec type as the workload tag), and the code
+// revision doing the admitting.
+func admissionLeaf(fp string, j *job) ledger.Leaf {
+	l := ledger.Leaf{
+		Kind:     ledger.LeafAdmission,
+		Key:      fp,
+		Workload: j.spec.Type,
+		Revision: provenance.Revision(),
+	}
+	if j.spec.Type == "sim" {
+		l.ConfigFP = j.simJob.Config.Fingerprint()
+		l.Scheme = j.simJob.Scheme.String()
+		l.Workload = j.simJob.Kind.Abbrev()
+	}
+	return l
 }
 
 // Handler returns the server's HTTP handler with request logging and
@@ -417,6 +461,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.conf.Store != nil {
 		mux.HandleFunc("POST /v1/store/scrub", s.handleScrub)
+	}
+	if s.conf.Ledger != nil {
+		mux.HandleFunc("GET /v1/ledger/head", s.handleLedgerHead)
+		mux.HandleFunc("GET /v1/ledger/proof", s.handleLedgerProof)
 	}
 	if s.conf.Cluster != nil {
 		mux.Handle("/v1/cluster/", http.StripPrefix("/v1/cluster", s.conf.Cluster.Handler()))
@@ -552,16 +600,44 @@ func (s *Server) handleScrub(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	s.log.Info("store scrubbed", "scanned", rep.Scanned, "corrupt", rep.Corrupt,
-		"temps_removed", rep.TempsRemoved)
+		"temps_removed", rep.TempsRemoved, "diverged", len(rep.Diverged))
 	writeJSON(w, http.StatusOK, rep)
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+// handleLedgerHead publishes the chain tip — the one hash that
+// summarizes the whole store history, what an external auditor pins.
+func (s *Server) handleLedgerHead(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.conf.Ledger.Head())
+}
+
+// handleLedgerProof returns the inclusion proof for the newest leaf
+// under ?key=…, optionally narrowed by ?kind=result|admission|completion.
+func (s *Server) handleLedgerProof(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing key parameter"))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	p, err := s.conf.Ledger.Proof(key, r.URL.Query().Get("kind"))
+	if errors.Is(err, ledger.ErrNoProof) {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := map[string]string{"status": "ok", "revision": provenance.Revision()}
+	if s.Draining() {
+		status["status"] = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, status)
+		return
+	}
+	writeJSON(w, http.StatusOK, status)
 }
 
 // retryAfterSeconds renders d as a whole-second Retry-After value,

@@ -5,7 +5,7 @@
 # percent slower on ns/op or allocs/op fails the script.
 #
 # Usage:
-#   scripts/bench_report.sh                 # write BENCH_7.json, gate vs previous
+#   scripts/bench_report.sh                 # write BENCH_10.json, gate vs previous
 #   scripts/bench_report.sh /tmp/ci.json    # CI: throwaway snapshot, gate vs committed
 #
 # Environment:
@@ -15,7 +15,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_7.json}"
+OUT="${1:-BENCH_10.json}"
 BENCH="${BENCH:-.}"
 BENCHTIME="${BENCHTIME:-1x}"
 MAX_REGRESS="${MAX_REGRESS:-20}"
@@ -26,14 +26,14 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 # The suite has two kinds of benchmarks: macro experiment regenerations
-# (one iteration IS the experiment — BENCHTIME 1x) and the Step micro
-# benchmarks, where a single iteration is noise-dominated and needs a
-# time-based budget to converge.
+# (one iteration IS the experiment — BENCHTIME 1x) and the Step/Admission
+# micro benchmarks, where a single iteration is noise-dominated and needs
+# a time-based budget to converge.
 say "running go test -bench '$BENCH' -benchtime $BENCHTIME (macro)"
 go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count 1 . \
-    | grep -v '^BenchmarkStep' | tee "$RAW"
-say "running go test -bench BenchmarkStep -benchtime ${MICRO_BENCHTIME:-2s} (micro)"
-go test -run '^$' -bench '^BenchmarkStep' -benchmem -benchtime "${MICRO_BENCHTIME:-2s}" -count 1 . \
+    | grep -Ev '^Benchmark(Step|Admission)' | tee "$RAW"
+say "running go test -bench 'Benchmark(Step|Admission)' -benchtime ${MICRO_BENCHTIME:-2s} (micro)"
+go test -run '^$' -bench '^Benchmark(Step|Admission)' -benchmem -benchtime "${MICRO_BENCHTIME:-2s}" -count 1 . \
     | tee -a "$RAW"
 
 go run ./cmd/benchjson -emit "$OUT" <"$RAW"
